@@ -1,0 +1,144 @@
+// Benchmarks: one per table/figure of the paper (wrapping the experiment
+// registry in internal/bench, so `go test -bench .` regenerates every
+// artifact) plus per-operation micro-benchmarks of the BV-tree itself.
+package bvtree_test
+
+import (
+	"io"
+	"testing"
+
+	"bvtree"
+	"bvtree/internal/bench"
+	"bvtree/internal/workload"
+)
+
+// benchExperiment runs a registered experiment once per iteration with
+// output discarded; run cmd/bvbench to see the tables.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Run(id, io.Discard, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper artifact (see DESIGN.md's experiment index).
+
+func BenchmarkFig12KDBCascade(b *testing.B) { benchExperiment(b, "fig1-2") }
+func BenchmarkFig13Spanning(b *testing.B)   { benchExperiment(b, "fig1-3") }
+func BenchmarkEq19Model(b *testing.B)       { benchExperiment(b, "eq") }
+func BenchmarkFig71(b *testing.B)           { benchExperiment(b, "fig7-1") }
+func BenchmarkFig72(b *testing.B)           { benchExperiment(b, "fig7-2") }
+func BenchmarkEq1018(b *testing.B)          { benchExperiment(b, "eq73") }
+func BenchmarkTab73Capacity(b *testing.B)   { benchExperiment(b, "tab7-3") }
+func BenchmarkEmpOccupancy(b *testing.B)    { benchExperiment(b, "emp-occ") }
+func BenchmarkEmpSearchPath(b *testing.B)   { benchExperiment(b, "emp-path") }
+func BenchmarkEmp1D(b *testing.B)           { benchExperiment(b, "emp-1d") }
+func BenchmarkCmpInsert(b *testing.B)       { benchExperiment(b, "cmp-insert") }
+func BenchmarkCmpQuery(b *testing.B)        { benchExperiment(b, "cmp-query") }
+func BenchmarkAblPageSize(b *testing.B)     { benchExperiment(b, "abl-pagesize") }
+func BenchmarkExtSpatial(b *testing.B)      { benchExperiment(b, "ext-spatial") }
+func BenchmarkCmpSplitPolicy(b *testing.B)  { benchExperiment(b, "cmp-split-policy") }
+
+// --- per-operation micro-benchmarks ---
+
+func buildTree(b *testing.B, kind workload.Kind, n int) (*bvtree.Tree, []bvtree.Point) {
+	b.Helper()
+	pts, err := workload.Generate(kind, 2, n, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := bvtree.New(bvtree.Options{Dims: 2, DataCapacity: 32, Fanout: 24})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, p := range pts {
+		if err := tr.Insert(p, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tr, pts
+}
+
+func BenchmarkInsertUniform(b *testing.B) {
+	pts, err := workload.Generate(workload.Uniform, 2, b.N, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := bvtree.New(bvtree.Options{Dims: 2, DataCapacity: 32, Fanout: 24})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(pts[i], uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertNested(b *testing.B) {
+	pts, err := workload.Generate(workload.Nested, 2, b.N, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := bvtree.New(bvtree.Options{Dims: 2, DataCapacity: 32, Fanout: 24})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(pts[i], uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tr, pts := buildTree(b, workload.Clustered, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Lookup(pts[i%len(pts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRangeQuery1pc(b *testing.B) {
+	tr, _ := buildTree(b, workload.Clustered, 100000)
+	rects := workload.QueryRects(2, 256, 0.01, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := tr.RangeQuery(rects[i%len(rects)], func(bvtree.Point, uint64) bool {
+			n++
+			return true
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDelete(b *testing.B) {
+	pts, err := workload.Generate(workload.Clustered, 2, b.N, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := bvtree.New(bvtree.Options{Dims: 2, DataCapacity: 32, Fanout: 24})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, p := range pts {
+		if err := tr.Insert(p, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, err := tr.Delete(pts[i], uint64(i)); err != nil || !ok {
+			b.Fatalf("delete %d: %v %v", i, ok, err)
+		}
+	}
+}

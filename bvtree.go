@@ -1,0 +1,125 @@
+// Package bvtree is a Go implementation of the BV-tree, the
+// n-dimensional generalisation of the B-tree introduced by Michael
+// Freeston in "A General Solution of the n-dimensional B-tree Problem"
+// (SIGMOD 1995).
+//
+// The BV-tree indexes points on n attributes symmetrically — a partial
+// match on any m of the n attributes costs the same whichever attributes
+// are specified — while preserving the B-tree's defining guarantees as
+// far as is topologically possible: exact-match search and update visit a
+// logarithmic number of nodes (exactly one node per partition level), and
+// every data and index node is kept at least one-third full. It achieves
+// this with a deliberately unbalanced index over a balanced recursive
+// binary partitioning of the data space: entries that a directory split
+// would cut through are promoted upwards as guards instead of being
+// split, and searches carry a per-level guard set down the tree.
+//
+// # Quick start
+//
+//	tr, err := bvtree.New(bvtree.Options{Dims: 2})
+//	if err != nil { ... }
+//	_ = tr.Insert(bvtree.Point{x, y}, recordID)
+//	payloads, _ := tr.Lookup(bvtree.Point{x, y})
+//	_ = tr.RangeQuery(rect, func(p bvtree.Point, id uint64) bool { ...; return true })
+//
+// Coordinates are uint64 values covering the full domain; use
+// NormalizeFloat to map floating-point attributes into it. For a
+// disk-backed tree, create a storage.FileStore and use NewPaged.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every table and figure in the paper.
+package bvtree
+
+import (
+	ibv "bvtree/internal/bvtree"
+	"bvtree/internal/geometry"
+	"bvtree/internal/storage"
+)
+
+// Point is an n-dimensional point with uint64 coordinates.
+type Point = geometry.Point
+
+// Rect is a closed axis-aligned query rectangle.
+type Rect = geometry.Rect
+
+// Tree is a BV-tree. It is safe for concurrent use.
+type Tree = ibv.Tree
+
+// Options configures a Tree; see the field documentation in the
+// implementation package.
+type Options = ibv.Options
+
+// OpStats are the structural event counters of a Tree.
+type OpStats = ibv.OpStats
+
+// TreeStats is a structural snapshot gathered by (*Tree).CollectStats.
+type TreeStats = ibv.TreeStats
+
+// Visitor receives query results; returning false stops the traversal.
+type Visitor = ibv.Visitor
+
+// Neighbor is one result of a Nearest search.
+type Neighbor = ibv.Neighbor
+
+// Store persists node blobs for paged trees; see NewFileStore.
+type Store = storage.Store
+
+// FileStoreOptions configures a file-backed store.
+type FileStoreOptions = storage.FileStoreOptions
+
+// New returns an in-memory BV-tree.
+func New(opt Options) (*Tree, error) { return ibv.New(opt) }
+
+// NewPaged returns a BV-tree whose nodes are serialised into st. The
+// store must be freshly created and is dedicated to the tree.
+func NewPaged(st Store, opt Options) (*Tree, error) { return ibv.NewPaged(st, opt) }
+
+// OpenPaged reopens a tree previously created with NewPaged and persisted
+// with (*Tree).Flush.
+func OpenPaged(st Store, cacheNodes int) (*Tree, error) { return ibv.OpenPaged(st, cacheNodes) }
+
+// DurableTree is a paged tree with a logical write-ahead log: every
+// Insert/Delete is fsynced to the log before it is applied, Checkpoint
+// persists the tree and empties the log, and OpenDurable replays
+// operations logged since the last checkpoint. Create the backing
+// FileStore with PinDirty so the on-disk image only changes at
+// checkpoints; a crash between checkpoints then loses nothing, while a
+// crash during a checkpoint itself is outside this layer's guarantees
+// (no page-level shadowing is performed).
+type DurableTree = ibv.DurableTree
+
+// NewDurable creates a durable tree over a fresh store, logging to
+// walPath.
+func NewDurable(st Store, walPath string, opt Options) (*DurableTree, error) {
+	return ibv.NewDurable(st, walPath, opt)
+}
+
+// OpenDurable reopens a durable tree, replaying the write-ahead log onto
+// the last checkpoint.
+func OpenDurable(st Store, walPath string, cacheNodes int) (*DurableTree, error) {
+	return ibv.OpenDurable(st, walPath, cacheNodes)
+}
+
+// NewFileStore creates a file-backed page store at path (truncating any
+// existing file), suitable for NewPaged.
+func NewFileStore(path string, opts FileStoreOptions) (*storage.FileStore, error) {
+	return storage.CreateFileStore(path, opts)
+}
+
+// OpenFileStore opens an existing file-backed page store.
+func OpenFileStore(path string, opts FileStoreOptions) (*storage.FileStore, error) {
+	return storage.OpenFileStore(path, opts)
+}
+
+// NewRect returns the rectangle spanning min..max, validating bounds.
+func NewRect(min, max Point) (Rect, error) { return geometry.NewRect(min, max) }
+
+// UniverseRect returns the rectangle covering the whole dims-dimensional
+// domain.
+func UniverseRect(dims int) Rect { return geometry.UniverseRect(dims) }
+
+// NormalizeFloat maps v in [lo, hi] onto the uint64 coordinate domain.
+func NormalizeFloat(v, lo, hi float64) uint64 { return geometry.NormalizeFloat(v, lo, hi) }
+
+// DenormalizeFloat is the approximate inverse of NormalizeFloat.
+func DenormalizeFloat(u uint64, lo, hi float64) float64 { return geometry.DenormalizeFloat(u, lo, hi) }

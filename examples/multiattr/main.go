@@ -1,0 +1,82 @@
+// Multiattr: the paper's motivating workload — an index on n attributes
+// of a relation that answers partial-match queries symmetrically. A
+// four-attribute "orders" relation is indexed on (customer, product,
+// region, day) and queried with every combination of two specified
+// attributes; the per-combination node-access counts come out nearly
+// identical, which is the symmetry a concatenated-key B-tree cannot give.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bvtree"
+	"bvtree/internal/workload"
+)
+
+const (
+	customers = 2000
+	products  = 500
+	regions   = 32
+	days      = 365
+)
+
+func main() {
+	tr, err := bvtree.New(bvtree.Options{Dims: 4, DataCapacity: 32, Fanout: 24})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Load one million synthetic order rows. Attribute values are spread
+	// over the full uint64 domain so every attribute is indexed at full
+	// resolution.
+	src := workload.NewSource(7)
+	const rows = 200000
+	for i := 0; i < rows; i++ {
+		p := bvtree.Point{
+			uint64(src.Intn(customers)) << 48,
+			uint64(src.Intn(products)) << 48,
+			uint64(src.Intn(regions)) << 48,
+			uint64(src.Intn(days)) << 48,
+		}
+		if err := tr.Insert(p, uint64(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("indexed %d orders on 4 attributes; height=%d\n\n", tr.Len(), tr.Height())
+
+	names := []string{"customer", "product", "region", "day"}
+	probe := bvtree.Point{
+		uint64(src.Intn(customers)) << 48,
+		uint64(src.Intn(products)) << 48,
+		uint64(src.Intn(regions)) << 48,
+		uint64(src.Intn(days)) << 48,
+	}
+
+	fmt.Println("partial-match cost for every 2-of-4 attribute combination:")
+	for _, spec := range workload.PartialMatchSpecs(4, 2) {
+		label := ""
+		for i, s := range spec {
+			if s {
+				if label != "" {
+					label += "+"
+				}
+				label += names[i]
+			}
+		}
+		tr.ResetAccessCount()
+		matches := 0
+		err := tr.PartialMatch(probe, spec, func(p bvtree.Point, id uint64) bool {
+			matches++
+			return true
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc := tr.ResetAccessCount()
+		fmt.Printf("  %-17s %6d node accesses, %d matches\n", label, acc, matches)
+	}
+
+	fmt.Println("\nthe costs differ only with the attributes' selectivities, not their")
+	fmt.Println("position — the symmetry property of §1 of the paper")
+}

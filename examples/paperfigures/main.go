@@ -1,0 +1,22 @@
+// Paperfigures regenerates the analytic artifacts of the paper's
+// evaluation (§7) in one shot: Figures 7-1 and 7-2, the equation tables
+// and the §7.3 capacity summary. It is a thin front-end over the same
+// experiment registry cmd/bvbench uses.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"bvtree/internal/bench"
+)
+
+func main() {
+	for _, id := range []string{"eq", "fig7-1", "fig7-2", "eq73", "tab7-3"} {
+		if err := bench.Run(id, os.Stdout, 1); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}

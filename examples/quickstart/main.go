@@ -1,0 +1,74 @@
+// Quickstart: the smallest useful BV-tree program — insert 2-D points,
+// look one up, run a range query, and print the tree's structural
+// statistics showing the paper's occupancy guarantee.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bvtree"
+)
+
+func main() {
+	tr, err := bvtree.New(bvtree.Options{Dims: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Insert a small grid of points; payloads are record IDs.
+	id := uint64(0)
+	for x := uint64(0); x < 100; x++ {
+		for y := uint64(0); y < 100; y++ {
+			// Spread the grid across the full coordinate domain.
+			p := bvtree.Point{x << 57, y << 57}
+			if err := tr.Insert(p, id); err != nil {
+				log.Fatal(err)
+			}
+			id++
+		}
+	}
+
+	// Exact-match lookup.
+	probe := bvtree.Point{42 << 57, 7 << 57}
+	ids, err := tr.Lookup(probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lookup %v -> record IDs %v\n", probe, ids)
+
+	// Range query: a 10x10 window of the grid.
+	rect, err := bvtree.NewRect(
+		bvtree.Point{10 << 57, 10 << 57},
+		bvtree.Point{19 << 57, 19 << 57},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 0
+	err = tr.RangeQuery(rect, func(p bvtree.Point, id uint64) bool {
+		n++
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range query found %d points (expected 100)\n", n)
+
+	// Delete and verify.
+	if ok, err := tr.Delete(probe, ids[0]); err != nil || !ok {
+		log.Fatalf("delete failed: %v %v", ok, err)
+	}
+	if ok, _ := tr.Contains(probe); ok {
+		log.Fatal("point still present after delete")
+	}
+	fmt.Printf("deleted %v; %d items remain\n", probe, tr.Len())
+
+	// The paper's structural guarantees, measured.
+	st, err := tr.CollectStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("height=%d, %d data pages, min data occupancy %.0f%% (paper guarantees >=33%%)\n",
+		st.Height, st.DataPages, st.DataMinOcc*100)
+}

@@ -1,0 +1,3 @@
+module bvtree
+
+go 1.22

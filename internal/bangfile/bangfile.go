@@ -1,0 +1,602 @@
+// Package bangfile implements the BANG file [Fre87, Fre89a] as the paper
+// characterises it in §1: data and directory pages are split by the same
+// regular binary partitioning the BV-tree uses (package region), enclosure
+// is representable, but the directory is kept *balanced* — so when a
+// directory split boundary fails to coincide with the region boundaries
+// below (Figure 1-3), every spanning region must itself be split at the
+// boundary, cascading down through its subtree. The package counts those
+// forced splits and the occupancy damage, which is precisely what the
+// BV-tree's guard mechanism eliminates.
+package bangfile
+
+import (
+	"errors"
+	"fmt"
+
+	"bvtree/internal/geometry"
+	"bvtree/internal/region"
+	"bvtree/internal/zorder"
+)
+
+// Stats counts structural events.
+type Stats struct {
+	DataSplits  uint64
+	IndexSplits uint64
+	// ForcedSplits counts regions split only because a directory boundary
+	// cut through them (the Figure 1-3 spanning problem).
+	ForcedSplits uint64
+	// MaxForcedPerInsert is the largest forced-split cascade caused by a
+	// single insertion.
+	MaxForcedPerInsert uint64
+	NodeAccesses       uint64
+	SoftOverflows      uint64
+}
+
+// Tree is a BANG file over n-dimensional points.
+type Tree struct {
+	dims    int
+	dataCap int
+	fanout  int
+	policy  SplitPolicy
+	il      *zorder.Interleaver
+	root    *node
+	height  int // directory levels above data pages; 0 = root is a data page
+	size    int
+	stats   Stats
+}
+
+// node is either a directory node (entries) or a data page (items).
+type node struct {
+	leaf    bool
+	key     region.BitString
+	items   []item
+	entries []*node
+}
+
+type item struct {
+	point   geometry.Point
+	payload uint64
+	addr    region.BitString
+}
+
+// SplitPolicy selects how directory pages choose their split boundary.
+type SplitPolicy int
+
+const (
+	// SplitBalanced descends the binary partition sequence to the first
+	// boundary giving a 1/3–2/3 balance — the BANG file's policy, which
+	// may force spanning regions to be split (Figure 1-3).
+	SplitBalanced SplitPolicy = iota
+	// SplitFirstPartition always splits at the earliest boundary of the
+	// binary partition sequence that separates the entries — the
+	// LSD-tree/Buddy-tree policy the paper describes in §1, which
+	// (mostly) avoids forced splits "at the price of abandoning all
+	// control over the occupancy of the resulting split index pages".
+	SplitFirstPartition
+)
+
+// Options configures a Tree.
+type Options struct {
+	Dims         int
+	DataCapacity int // default 32
+	Fanout       int // default 16
+	BitsPerDim   int // default 64
+	// Policy selects the directory split boundary (default SplitBalanced,
+	// the BANG file; SplitFirstPartition models the LSD/Buddy trees).
+	Policy SplitPolicy
+}
+
+// New returns an empty BANG file.
+func New(opt Options) (*Tree, error) {
+	if opt.Dims < 1 || opt.Dims > geometry.MaxDims {
+		return nil, fmt.Errorf("bangfile: dims %d out of range", opt.Dims)
+	}
+	if opt.DataCapacity == 0 {
+		opt.DataCapacity = 32
+	}
+	if opt.Fanout == 0 {
+		opt.Fanout = 16
+	}
+	if opt.BitsPerDim == 0 {
+		opt.BitsPerDim = 64
+	}
+	il, err := zorder.NewInterleaver(opt.Dims, opt.BitsPerDim)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{
+		dims:    opt.Dims,
+		dataCap: opt.DataCapacity,
+		fanout:  opt.Fanout,
+		policy:  opt.Policy,
+		il:      il,
+		root:    &node{leaf: true},
+	}, nil
+}
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of directory levels above the data pages.
+func (t *Tree) Height() int { return t.height }
+
+// Stats returns the event counters.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// ResetAccesses zeroes the access counter and returns the prior value.
+func (t *Tree) ResetAccesses() uint64 {
+	v := t.stats.NodeAccesses
+	t.stats.NodeAccesses = 0
+	return v
+}
+
+func (t *Tree) addr(p geometry.Point) (region.BitString, error) {
+	a, err := t.il.Interleave(p)
+	if err != nil {
+		return region.BitString{}, err
+	}
+	return region.FromAddress(a), nil
+}
+
+// Insert stores (p, payload).
+func (t *Tree) Insert(p geometry.Point, payload uint64) error {
+	a, err := t.addr(p)
+	if err != nil {
+		return err
+	}
+	forcedBefore := t.stats.ForcedSplits
+	// Descend by longest prefix match, recording the path.
+	var path []*node
+	n := t.root
+	for !n.leaf {
+		t.stats.NodeAccesses++
+		path = append(path, n)
+		best := -1
+		bestLen := -1
+		for i, c := range n.entries {
+			if c.key.Len() > bestLen && c.key.IsPrefixOf(a) {
+				best, bestLen = i, c.key.Len()
+			}
+		}
+		if best < 0 {
+			return fmt.Errorf("bangfile: no region matches %v at node %v", a, n.key)
+		}
+		n = n.entries[best]
+	}
+	t.stats.NodeAccesses++
+	n.items = append(n.items, item{point: p.Clone(), payload: payload, addr: a})
+	t.size++
+
+	// Resolve overflow bottom-up, exactly like a B-tree: the balanced
+	// directory is the defining constraint of the BANG file.
+	cur := n
+	for {
+		var over bool
+		if cur.leaf {
+			over = len(cur.items) > t.dataCap
+		} else {
+			over = len(cur.entries) > t.fanout
+		}
+		if !over {
+			break
+		}
+		sibling, err := t.splitNode(cur)
+		if err != nil {
+			if errors.Is(err, region.ErrCannotSplit) {
+				t.stats.SoftOverflows++
+				break
+			}
+			return err
+		}
+		if len(path) == 0 {
+			newRoot := &node{key: cur.key, entries: []*node{cur, sibling}}
+			t.root = newRoot
+			t.height++
+			break
+		}
+		parent := path[len(path)-1]
+		path = path[:len(path)-1]
+		parent.entries = append(parent.entries, sibling)
+		cur = parent
+	}
+	if f := t.stats.ForcedSplits - forcedBefore; f > t.stats.MaxForcedPerInsert {
+		t.stats.MaxForcedPerInsert = f
+	}
+	return nil
+}
+
+// splitNode splits cur and returns the new inner sibling. Directory splits
+// force-split every spanning child at the chosen boundary.
+func (t *Tree) splitNode(cur *node) (*node, error) {
+	if cur.leaf {
+		keys := make([]region.BitString, len(cur.items))
+		for i := range cur.items {
+			keys[i] = cur.items[i].addr
+		}
+		choice, err := region.ChooseSplit(cur.key, keys)
+		if err != nil {
+			return nil, err
+		}
+		t.stats.DataSplits++
+		inner := &node{leaf: true, key: choice.Prefix}
+		keep := cur.items[:0]
+		for _, it := range cur.items {
+			if choice.Prefix.IsPrefixOf(it.addr) {
+				inner.items = append(inner.items, it)
+			} else {
+				keep = append(keep, it)
+			}
+		}
+		cur.items = keep
+		return inner, nil
+	}
+	keys := make([]region.BitString, len(cur.entries))
+	for i, c := range cur.entries {
+		keys[i] = c.key
+	}
+	var q region.BitString
+	if t.policy == SplitFirstPartition {
+		fp, err := firstPartition(cur.key, keys)
+		if err != nil {
+			return nil, err
+		}
+		q = fp
+	} else {
+		choice, err := region.ChooseSplit(cur.key, keys)
+		if err != nil {
+			return nil, err
+		}
+		q = choice.Prefix
+	}
+	t.stats.IndexSplits++
+	inner := &node{key: q}
+	var outer []*node
+	for _, c := range cur.entries {
+		switch {
+		case q.IsPrefixOf(c.key):
+			inner.entries = append(inner.entries, c)
+		case c.key.IsProperPrefixOf(q):
+			// Spanning region: the BANG file has no promotion, so the
+			// subtree must be split at q, cascading downwards.
+			in := t.forceSplit(c, q)
+			outer = append(outer, c)
+			if in != nil {
+				inner.entries = append(inner.entries, in)
+			}
+		default:
+			outer = append(outer, c)
+		}
+	}
+	// Nested spanning regions each contribute a piece with key q; regions
+	// with the same key must be one region, so merge the pieces.
+	inner.entries = mergeSameKey(inner.entries)
+	cur.entries = outer
+	return inner, nil
+}
+
+// firstPartition returns the earliest boundary in the binary partition
+// sequence below encl that separates the keys into two non-empty sides:
+// the inner side of the 1-bit extension of encl holding fewer keys, or a
+// deeper boundary when one 1-bit side is empty. This is the LSD/Buddy
+// split policy: it never needs balance information, so the resulting
+// occupancies are uncontrolled — exactly the paper's §1 critique.
+func firstPartition(encl region.BitString, keys []region.BitString) (region.BitString, error) {
+	cur := encl
+	for {
+		var zero, one int
+		var w0, w1 region.BitString
+		for _, k := range keys {
+			if !cur.IsPrefixOf(k) || k.Len() == cur.Len() {
+				continue
+			}
+			if k.Bit(cur.Len()) == 0 {
+				zero++
+				w0 = k
+			} else {
+				one++
+				w1 = k
+			}
+		}
+		switch {
+		case zero > 0 && one > 0:
+			// First separating boundary: carve out the lighter side.
+			if zero <= one {
+				return cur.Append(0), nil
+			}
+			return cur.Append(1), nil
+		case zero > 0:
+			cur = cur.Append(0)
+			_ = w0
+		case one > 0:
+			cur = cur.Append(1)
+			_ = w1
+		default:
+			return region.BitString{}, region.ErrCannotSplit
+		}
+	}
+}
+
+// mergeSameKey coalesces sibling subtrees that carry identical region
+// keys (produced when nested spanning regions are force-split at the same
+// boundary) into single subtrees, recursively.
+func mergeSameKey(nodes []*node) []*node {
+	byKey := make(map[string]*node, len(nodes))
+	var out []*node
+	for _, n := range nodes {
+		k := n.key.String()
+		if prev, ok := byKey[k]; ok {
+			mergeInto(prev, n)
+			continue
+		}
+		byKey[k] = n
+		out = append(out, n)
+	}
+	return out
+}
+
+// mergeInto merges b into a; both have the same key and height.
+func mergeInto(a, b *node) {
+	if a.leaf {
+		a.items = append(a.items, b.items...)
+		return
+	}
+	a.entries = mergeSameKey(append(a.entries, b.entries...))
+}
+
+// forceSplit carves the part of subtree c that lies inside boundary q into
+// a new subtree, returning it (nil when empty). c keeps the remainder.
+// Every node the boundary passes through is a forced split.
+func (t *Tree) forceSplit(c *node, q region.BitString) *node {
+	t.stats.ForcedSplits++
+	if c.leaf {
+		in := &node{leaf: true, key: q}
+		keep := c.items[:0]
+		for _, it := range c.items {
+			if q.IsPrefixOf(it.addr) {
+				in.items = append(in.items, it)
+			} else {
+				keep = append(keep, it)
+			}
+		}
+		c.items = keep
+		if len(in.items) == 0 {
+			// Region q still has to exist to keep the directory sound:
+			// an empty forced page is the occupancy damage the paper
+			// describes. Keep it.
+		}
+		return in
+	}
+	h := subtreeHeight(c)
+	in := &node{key: q}
+	var keep []*node
+	for _, ch := range c.entries {
+		switch {
+		case q.IsPrefixOf(ch.key):
+			in.entries = append(in.entries, ch)
+		case ch.key.IsProperPrefixOf(q):
+			sub := t.forceSplit(ch, q)
+			keep = append(keep, ch)
+			if sub != nil {
+				in.entries = append(in.entries, sub)
+			}
+		default:
+			keep = append(keep, ch)
+		}
+	}
+	in.entries = mergeSameKey(in.entries)
+	c.entries = keep
+	if len(in.entries) == 0 {
+		// The inner side must still be representable: give it an empty
+		// data page at the leaf level so the balanced directory stays
+		// navigable.
+		in.entries = append(in.entries, emptyChain(h-1, q))
+	}
+	if len(c.entries) == 0 {
+		// Everything was inside q: the remainder region still needs a
+		// navigable (empty) subtree — exactly the uncontrolled occupancy
+		// the paper attributes to forced splitting.
+		c.entries = append(c.entries, emptyChain(h-1, c.key))
+	}
+	return in
+}
+
+// emptyChain builds a chain of directory nodes of the given height ending
+// in an empty data page, all carrying key q.
+func emptyChain(height int, q region.BitString) *node {
+	n := &node{leaf: true, key: q}
+	for i := 0; i < height; i++ {
+		n = &node{key: q, entries: []*node{n}}
+	}
+	return n
+}
+
+func subtreeHeight(n *node) int {
+	h := 0
+	for !n.leaf {
+		h++
+		n = n.entries[0]
+	}
+	return h
+}
+
+// Lookup returns the payloads stored at exactly p.
+func (t *Tree) Lookup(p geometry.Point) ([]uint64, error) {
+	a, err := t.addr(p)
+	if err != nil {
+		return nil, err
+	}
+	n := t.root
+	for !n.leaf {
+		t.stats.NodeAccesses++
+		best, bestLen := -1, -1
+		for i, c := range n.entries {
+			if c.key.Len() > bestLen && c.key.IsPrefixOf(a) {
+				best, bestLen = i, c.key.Len()
+			}
+		}
+		if best < 0 {
+			return nil, nil
+		}
+		n = n.entries[best]
+	}
+	t.stats.NodeAccesses++
+	var out []uint64
+	for _, it := range n.items {
+		if it.point.Equal(p) {
+			out = append(out, it.payload)
+		}
+	}
+	return out, nil
+}
+
+// RangeQuery invokes visit for every stored item inside rect.
+func (t *Tree) RangeQuery(rect geometry.Rect, visit func(geometry.Point, uint64) bool) error {
+	if rect.Dims() != t.dims {
+		return fmt.Errorf("bangfile: rect dim mismatch")
+	}
+	var rec func(n *node) bool
+	rec = func(n *node) bool {
+		t.stats.NodeAccesses++
+		if n.leaf {
+			for _, it := range n.items {
+				if rect.Contains(it.point) {
+					if !visit(it.point, it.payload) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for _, c := range n.entries {
+			if rect.Intersects(region.Brick(c.key, t.dims)) {
+				if !rec(c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rec(t.root)
+	return nil
+}
+
+// Count returns the number of items inside rect.
+func (t *Tree) Count(rect geometry.Rect) (int, error) {
+	n := 0
+	err := t.RangeQuery(rect, func(geometry.Point, uint64) bool { n++; return true })
+	return n, err
+}
+
+// OccupancySummary reports data-page occupancy statistics.
+func (t *Tree) OccupancySummary() (pages int, minOcc, avgOcc float64) {
+	var sum float64
+	first := true
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n.leaf {
+			pages++
+			occ := float64(len(n.items)) / float64(t.dataCap)
+			sum += occ
+			if first || occ < minOcc {
+				minOcc = occ
+			}
+			first = false
+			return
+		}
+		for _, c := range n.entries {
+			rec(c)
+		}
+	}
+	rec(t.root)
+	if pages > 0 {
+		avgOcc = sum / float64(pages)
+	}
+	return
+}
+
+// Validate checks the structural invariants: balanced directory, keys
+// extending parent keys, items inside their page region, global
+// longest-prefix routing and item count.
+func (t *Tree) Validate() error {
+	count := 0
+	var leaves []*node
+	var rec func(n *node, depth int) error
+	rec = func(n *node, depth int) error {
+		if n.leaf {
+			if depth != t.height {
+				return fmt.Errorf("bangfile: leaf at depth %d, height %d", depth, t.height)
+			}
+			for _, it := range n.items {
+				if !n.key.IsPrefixOf(it.addr) {
+					return fmt.Errorf("bangfile: item %v outside region %v", it.point, n.key)
+				}
+			}
+			count += len(n.items)
+			leaves = append(leaves, n)
+			return nil
+		}
+		if len(n.entries) == 0 {
+			return fmt.Errorf("bangfile: empty directory node %v", n.key)
+		}
+		for _, c := range n.entries {
+			if !n.key.IsPrefixOf(c.key) {
+				return fmt.Errorf("bangfile: child %v escapes node %v", c.key, n.key)
+			}
+			if err := rec(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(t.root, 0); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("bangfile: walked %d items, size %d", count, t.size)
+	}
+	// Global longest-prefix routing.
+	for _, leaf := range leaves {
+		for _, it := range leaf.items {
+			best := leaf
+			for _, l := range leaves {
+				if l.key.Len() > best.key.Len() && l.key.IsPrefixOf(it.addr) {
+					best = l
+				}
+			}
+			if best != leaf {
+				return fmt.Errorf("bangfile: item %v stored in %v but %v is longer", it.point, leaf.key, best.key)
+			}
+		}
+	}
+	return nil
+}
+
+// IndexOccupancySummary reports directory-node occupancy statistics:
+// the number of directory nodes and the minimum/average entry counts
+// relative to the fan-out. The paper's §1 point about the LSD/Buddy split
+// policy is that this minimum is uncontrolled.
+func (t *Tree) IndexOccupancySummary() (nodes int, minOcc, avgOcc float64) {
+	var sum float64
+	first := true
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n.leaf {
+			return
+		}
+		nodes++
+		occ := float64(len(n.entries)) / float64(t.fanout)
+		sum += occ
+		if first || occ < minOcc {
+			minOcc = occ
+		}
+		first = false
+		for _, c := range n.entries {
+			rec(c)
+		}
+	}
+	rec(t.root)
+	if nodes > 0 {
+		avgOcc = sum / float64(nodes)
+	}
+	return
+}

@@ -1,0 +1,229 @@
+package bangfile
+
+import (
+	"math/rand"
+	"testing"
+
+	"bvtree/internal/geometry"
+)
+
+func randPoint(rng *rand.Rand, dims int) geometry.Point {
+	p := make(geometry.Point, dims)
+	for i := range p {
+		p[i] = rng.Uint64()
+	}
+	return p
+}
+
+func clusteredPoint(rng *rand.Rand, dims int) geometry.Point {
+	p := make(geometry.Point, dims)
+	shift := uint(rng.Intn(56))
+	base := rng.Uint64()
+	for i := range p {
+		off := rng.Uint64()
+		if shift < 64 {
+			off >>= (64 - shift)
+		}
+		p[i] = base + off
+	}
+	return p
+}
+
+func TestInsertLookupValidate(t *testing.T) {
+	for _, gen := range []struct {
+		name string
+		fn   func(*rand.Rand, int) geometry.Point
+	}{{"uniform", randPoint}, {"clustered", clusteredPoint}} {
+		t.Run(gen.name, func(t *testing.T) {
+			tr, err := New(Options{Dims: 2, DataCapacity: 6, Fanout: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(21))
+			pts := make([]geometry.Point, 3000)
+			for i := range pts {
+				pts[i] = gen.fn(rng, 2)
+				if err := tr.Insert(pts[i], uint64(i)); err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+				if i%500 == 499 {
+					if err := tr.Validate(); err != nil {
+						t.Fatalf("after %d: %v", i+1, err)
+					}
+				}
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range pts {
+				got, err := tr.Lookup(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				found := false
+				for _, v := range got {
+					if v == uint64(i) {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("point %d missing", i)
+				}
+			}
+		})
+	}
+}
+
+func TestRangeAgainstBruteForce(t *testing.T) {
+	tr, _ := New(Options{Dims: 2, DataCapacity: 8, Fanout: 6})
+	rng := rand.New(rand.NewSource(23))
+	var pts []geometry.Point
+	for i := 0; i < 2500; i++ {
+		p := clusteredPoint(rng, 2)
+		pts = append(pts, p)
+		if err := tr.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 30; trial++ {
+		a, b := randPoint(rng, 2), randPoint(rng, 2)
+		min := make(geometry.Point, 2)
+		max := make(geometry.Point, 2)
+		for d := 0; d < 2; d++ {
+			lo, hi := a[d], b[d]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			min[d], max[d] = lo, hi
+		}
+		rect, _ := geometry.NewRect(min, max)
+		want := 0
+		for _, p := range pts {
+			if rect.Contains(p) {
+				want++
+			}
+		}
+		got, err := tr.Count(rect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: %d want %d", trial, got, want)
+		}
+	}
+}
+
+func TestForcedSplitsOccurOnClusters(t *testing.T) {
+	tr, _ := New(Options{Dims: 2, DataCapacity: 4, Fanout: 4})
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 20000; i++ {
+		if err := tr.Insert(clusteredPoint(rng, 2), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.ForcedSplits == 0 {
+		t.Fatal("expected spanning-region forced splits: the Figure 1-3 problem")
+	}
+}
+
+func TestBalancedDirectory(t *testing.T) {
+	// Validate() already asserts uniform leaf depth; this test just
+	// stresses it at scale with a mixture of distributions.
+	tr, _ := New(Options{Dims: 3, DataCapacity: 8, Fanout: 8})
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 10000; i++ {
+		var p geometry.Point
+		if i%2 == 0 {
+			p = randPoint(rng, 3)
+		} else {
+			p = clusteredPoint(rng, 3)
+		}
+		if err := tr.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height %d too small for 10k items", tr.Height())
+	}
+}
+
+func TestFirstPartitionPolicyCorrectAndUnbalanced(t *testing.T) {
+	// The LSD/Buddy split policy must stay fully correct (same results)
+	// while giving up control of directory occupancy (§1).
+	mk := func(policy SplitPolicy) *Tree {
+		tr, err := New(Options{Dims: 2, DataCapacity: 6, Fanout: 8, Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	bang := mk(SplitBalanced)
+	lsd := mk(SplitFirstPartition)
+	rng := rand.New(rand.NewSource(41))
+	var pts []geometry.Point
+	for i := 0; i < 15000; i++ {
+		p := clusteredPoint(rng, 2)
+		pts = append(pts, p)
+		if err := bang.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := lsd.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bang.Validate(); err != nil {
+		t.Fatalf("bang: %v", err)
+	}
+	if err := lsd.Validate(); err != nil {
+		t.Fatalf("lsd: %v", err)
+	}
+	// Identical query results.
+	for trial := 0; trial < 15; trial++ {
+		a, b := randPoint(rng, 2), randPoint(rng, 2)
+		min := geometry.Point{minu(a[0], b[0]), minu(a[1], b[1])}
+		max := geometry.Point{maxu(a[0], b[0]), maxu(a[1], b[1])}
+		rect, _ := geometry.NewRect(min, max)
+		c1, err := bang.Count(rect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := lsd.Count(rect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c1 != c2 {
+			t.Fatalf("policy result mismatch: %d vs %d", c1, c2)
+		}
+	}
+	// The first-partition policy must show worse (or equal) minimum
+	// directory occupancy — the paper's critique.
+	_, bangMin, _ := bang.IndexOccupancySummary()
+	_, lsdMin, lsdAvg := lsd.IndexOccupancySummary()
+	if lsdMin > bangMin {
+		t.Fatalf("first-partition min occupancy %.2f better than balanced %.2f", lsdMin, bangMin)
+	}
+	if lsdAvg <= 0 {
+		t.Fatal("no directory nodes measured")
+	}
+}
+
+func minu(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxu(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"bvtree/internal/analysis"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "eq",
+		Title: "Equations (1)-(9): best/worst-case node counts, uniform page size",
+		Run:   runEquations,
+	})
+	register(Experiment{
+		ID:    "fig7-1",
+		Title: "Figure 7-1: best vs worst-case log_F(td(h)), F=24",
+		Run:   func(w io.Writer, scale int) error { return runFig7(w, 24) },
+	})
+	register(Experiment{
+		ID:    "fig7-2",
+		Title: "Figure 7-2: best vs worst-case log_F(td(h)), F=120",
+		Run:   func(w io.Writer, scale int) error { return runFig7(w, 120) },
+	})
+	register(Experiment{
+		ID:    "eq73",
+		Title: "Equations (10)-(18): worst case with level-scaled index pages",
+		Run:   runEq73,
+	})
+	register(Experiment{
+		ID:    "tab7-3",
+		Title: "§7.3 summary: file capacities and worst-case height growth",
+		Run:   runTab73,
+	})
+}
+
+func runEquations(w io.Writer, _ int) error {
+	for _, f := range []int{24, 120} {
+		fmt.Fprintf(w, "\nfan-out F = %d\n", f)
+		t := newTable(w, "h", "td_best=F^h", "td_worst (eq4)", "C(F+h-1,h)", "best/worst",
+			"ti_worst (eq6)", "ti/td", "F·ti/td")
+		for h := 1; h <= 9; h++ {
+			best := analysis.BestDataNodes(f, h)
+			worst := analysis.WorstDataNodes(f, h)
+			closed := analysis.WorstDataNodesClosed(f, h)
+			ti := analysis.WorstIndexNodes(f, h)
+			ratio := new(big.Rat).Quo(new(big.Rat).SetInt(best), worst)
+			rf, _ := ratio.Float64()
+			tdtd := new(big.Rat).Quo(ti, worst)
+			tf, _ := tdtd.Float64()
+			t.row(h, sci(new(big.Rat).SetInt(best)), sci(worst), sci(closed),
+				fmt.Sprintf("%.1f", rf), sci(ti), fmt.Sprintf("%.2e", tf),
+				fmt.Sprintf("%.3f", tf*float64(f)))
+		}
+		t.flush()
+		fmt.Fprintf(w, "shape check: best/worst -> h! (paper eq 5); F·ti/td -> 1 (paper eq 9)\n")
+	}
+	return nil
+}
+
+func runFig7(w io.Writer, f int) error {
+	rows := analysis.Fig7Series(f, 9)
+	t := newTable(w, "h", "log_F td_best", "log_F td_worst", "gap", "log_F(h!) (paper)")
+	for _, r := range rows {
+		t.row(r.H,
+			fmt.Sprintf("%.3f", r.BestLogF),
+			fmt.Sprintf("%.3f", r.WorstLogF),
+			fmt.Sprintf("%.3f", r.Gap),
+			fmt.Sprintf("%.3f", r.LogFHFactorial))
+	}
+	t.flush()
+	fmt.Fprintf(w, "the gap column is the shaded area of the paper's figure; it tracks log_F(h!)\n")
+	return nil
+}
+
+func runEq73(w io.Writer, _ int) error {
+	const b = 1024
+	for _, f := range []int{24, 120} {
+		fmt.Fprintf(w, "\nfan-out F = %d, base index page B = %d bytes\n", f, b)
+		t := newTable(w, "h", "td=F(F+1)^(h-1)", "td_best=F^h", "td/best",
+			"ti=(F+1)^(h-1)", "ti/td", "si(h) bytes", "B·F^(h-1)")
+		for h := 1; h <= 8; h++ {
+			td := analysis.ScaledWorstDataNodes(f, h)
+			best := analysis.BestDataNodes(f, h)
+			ti := analysis.ScaledWorstIndexNodes(f, h)
+			si := analysis.ScaledIndexSize(b, f, h)
+			approx := new(big.Int).Exp(big.NewInt(int64(f)), big.NewInt(int64(h-1)), nil)
+			approx.Mul(approx, big.NewInt(b))
+			r := new(big.Rat).SetFrac(td, best)
+			rf, _ := r.Float64()
+			tidr := new(big.Rat).SetFrac(ti, td)
+			tif, _ := tidr.Float64()
+			t.row(h, sci(new(big.Rat).SetInt(td)), sci(new(big.Rat).SetInt(best)),
+				fmt.Sprintf("%.3f", rf), sci(new(big.Rat).SetInt(ti)),
+				fmt.Sprintf("%.2e", tif), sci(new(big.Rat).SetInt(si)),
+				sci(new(big.Rat).SetInt(approx)))
+		}
+		t.flush()
+	}
+	fmt.Fprintln(w, "shape check: td/best stays ~1 (eq 12 removes the h! penalty); si tracks B·F^(h-1) (eq 18)")
+	return nil
+}
+
+func runTab73(w io.Writer, _ int) error {
+	const pageBytes = 1024
+	for _, f := range []int{24, 120} {
+		fmt.Fprintf(w, "\nfan-out F = %d, 1KB data pages\n", f)
+		t := newTable(w, "h", "best-case file", "worst-case file", "extra levels (uniform)", "worst w/ scaled pages")
+		for _, r := range analysis.CapacityTable(f, pageBytes, 8) {
+			t.row(r.H,
+				analysis.HumanBytes(r.BestBytes),
+				analysis.HumanBytes(r.WorstBytes),
+				r.ExtraLevels,
+				analysis.HumanBytes(r.ScaledWorstBytes))
+		}
+		t.flush()
+	}
+	fmt.Fprintln(w, "paper claims: F=24 ok to ~100MB within +2 levels; F=120 to ~25TB; 3PB at best-case h=6, F=120")
+	return nil
+}
+
+// sci renders a big rational in compact scientific-ish form.
+func sci(x *big.Rat) string {
+	f, _ := x.Float64()
+	if f != 0 && (f < 1e7 && f >= 1) && x.IsInt() {
+		return x.Num().String()
+	}
+	return fmt.Sprintf("%.3e", f)
+}

@@ -1,0 +1,87 @@
+// Package bench implements the experiment harness: one registered
+// experiment per table and figure of the paper (see DESIGN.md for the
+// index). Each experiment writes a plain-text table to the given writer;
+// cmd/bvbench exposes them on the command line and the repository-root
+// benchmarks wrap them for `go test -bench`.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// Experiment is a registered, runnable reproduction of one paper artifact.
+type Experiment struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "fig7-1").
+	ID string
+	// Title describes the paper artifact being regenerated.
+	Title string
+	// Run executes the experiment at the given scale (a point-count
+	// multiplier; 1 is the default, larger values sharpen the statistics)
+	// and writes its table to w.
+	Run func(w io.Writer, scale int) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, w io.Writer, scale int) error {
+	e, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("bench: unknown experiment %q (use -list)", id)
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title)
+	return e.Run(w, scale)
+}
+
+// table is a small helper around tabwriter.
+type table struct {
+	tw *tabwriter.Writer
+}
+
+func newTable(w io.Writer, headers ...interface{}) *table {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	t := &table{tw: tw}
+	t.row(headers...)
+	return t
+}
+
+func (t *table) row(cells ...interface{}) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.tw, "\t")
+		}
+		fmt.Fprint(t.tw, c)
+	}
+	fmt.Fprintln(t.tw)
+}
+
+func (t *table) flush() { t.tw.Flush() }

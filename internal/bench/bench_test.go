@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every experiment listed in DESIGN.md's index must be registered.
+	want := []string{
+		"fig1-2", "fig1-3", "eq", "fig7-1", "fig7-2", "eq73", "tab7-3",
+		"emp-occ", "emp-path", "emp-1d", "cmp-insert", "cmp-query",
+		"abl-pagesize", "ext-spatial", "cmp-split-policy",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Fatalf("registry has %d experiments, DESIGN.md lists %d", len(All()), len(want))
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := Run("nope", &bytes.Buffer{}, 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestAnalyticExperimentsRun(t *testing.T) {
+	for _, id := range []string{"eq", "fig7-1", "fig7-2", "eq73", "tab7-3"} {
+		var buf bytes.Buffer
+		if err := Run(id, &buf, 1); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 || !strings.Contains(buf.String(), "==") {
+			t.Fatalf("%s produced no table", id)
+		}
+	}
+}
+
+func TestFig71ReproducesPaperShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig7-1", &buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The h=4 row of Figure 7-1: gap ≈ log_24(24) = 1.
+	if !strings.Contains(out, "0.925") {
+		t.Fatalf("expected h=4 gap 0.925 in output:\n%s", out)
+	}
+}
+
+func TestEmpiricalExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Scale 1 already inserts tens of thousands of points; these are the
+	// real experiment paths, so a smoke pass is the right level here —
+	// correctness is covered by the structure packages' own tests.
+	for _, id := range []string{"fig1-2", "fig1-3", "emp-1d", "abl-pagesize"} {
+		var buf bytes.Buffer
+		if err := Run(id, &buf, 1); err != nil {
+			t.Fatalf("%s: %v\n%s", id, err, buf.String())
+		}
+		if strings.Contains(buf.String(), "violation") {
+			t.Fatalf("%s reported a violation:\n%s", id, buf.String())
+		}
+	}
+}

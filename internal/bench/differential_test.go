@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"bvtree/internal/bangfile"
+	"bvtree/internal/bvtree"
+	"bvtree/internal/geometry"
+	"bvtree/internal/kdbtree"
+	"bvtree/internal/workload"
+	"bvtree/internal/zbtree"
+)
+
+// TestDifferentialAllStructures cross-validates the four index structures
+// against each other and against brute force: same inserts, same deletes,
+// identical answers to exact-match, range and partial-match queries. Any
+// disagreement pinpoints a correctness bug in one structure.
+func TestDifferentialAllStructures(t *testing.T) {
+	for _, kind := range []workload.Kind{workload.Uniform, workload.Clustered, workload.Nested} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			const dims, n = 2, 6000
+			pts, err := workload.Generate(kind, dims, n, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			bv, err := bvtree.New(bvtree.Options{Dims: dims, DataCapacity: 8, Fanout: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			kdb, err := kdbtree.New(kdbtree.Options{Dims: dims, DataCapacity: 8, Fanout: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bang, err := bangfile.New(bangfile.Options{Dims: dims, DataCapacity: 8, Fanout: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			zb, err := zbtree.New(zbtree.Options{Dims: dims, Order: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range pts {
+				if err := bv.Insert(p, uint64(i)); err != nil {
+					t.Fatalf("bv insert: %v", err)
+				}
+				if err := kdb.Insert(p, uint64(i)); err != nil {
+					t.Fatalf("kdb insert: %v", err)
+				}
+				if err := bang.Insert(p, uint64(i)); err != nil {
+					t.Fatalf("bang insert: %v", err)
+				}
+				if err := zb.Insert(p, uint64(i)); err != nil {
+					t.Fatalf("zb insert: %v", err)
+				}
+			}
+
+			// Delete a deterministic quarter from BV and ZB (the two with
+			// full delete support) and from the model.
+			live := make(map[int]bool, n)
+			for i := range pts {
+				live[i] = true
+			}
+			src := workload.NewSource(5)
+			for k := 0; k < n/4; k++ {
+				i := src.Intn(n)
+				if !live[i] {
+					continue
+				}
+				ok1, err := bv.Delete(pts[i], uint64(i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				ok2, err := zb.Delete(pts[i], uint64(i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok1 || !ok2 {
+					t.Fatalf("delete of live item %d: bv=%v zb=%v", i, ok1, ok2)
+				}
+				live[i] = false
+			}
+
+			// Exact-match agreement on every original point.
+			for i, p := range pts {
+				got, err := bv.Lookup(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				found := false
+				for _, v := range got {
+					if v == uint64(i) {
+						found = true
+					}
+				}
+				if found != live[i] {
+					t.Fatalf("bv lookup of %d: found=%v live=%v", i, found, live[i])
+				}
+				zgot, err := zb.Lookup(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				zfound := false
+				for _, v := range zgot {
+					if v == uint64(i) {
+						zfound = true
+					}
+				}
+				if zfound != live[i] {
+					t.Fatalf("zb lookup of %d: found=%v live=%v", i, zfound, live[i])
+				}
+			}
+
+			// Range agreement between BV, ZB and brute force on live items;
+			// K-D-B and BANG (no deletes applied) against the full set.
+			rects := workload.QueryRects(dims, 40, 0.08, 6)
+			for qi, r := range rects {
+				wantLive, wantAll := 0, 0
+				for i, p := range pts {
+					if r.Contains(p) {
+						wantAll++
+						if live[i] {
+							wantLive++
+						}
+					}
+				}
+				check := func(name string, got int, want int) {
+					if got != want {
+						t.Fatalf("query %d (%s): got %d want %d", qi, name, got, want)
+					}
+				}
+				c, err := bv.Count(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				check("bv", c, wantLive)
+				c, err = zb.Count(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				check("zb", c, wantLive)
+				c, err = kdb.Count(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				check("kdb", c, wantAll)
+				c, err = bang.Count(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				check("bang", c, wantAll)
+			}
+
+			// Partial-match agreement (BV vs brute force on a discretised
+			// probe grid).
+			for m := 1; m <= dims; m++ {
+				for _, spec := range workload.PartialMatchSpecs(dims, m) {
+					probe := pts[src.Intn(n)]
+					want := 0
+					for i, p := range pts {
+						if !live[i] {
+							continue
+						}
+						ok := true
+						for d := range spec {
+							if spec[d] && p[d] != probe[d] {
+								ok = false
+							}
+						}
+						if ok {
+							want++
+						}
+					}
+					got := 0
+					err := bv.PartialMatch(probe, spec, func(geometry.Point, uint64) bool {
+						got++
+						return true
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Fatalf("partial match %v: got %d want %d", spec, got, want)
+					}
+				}
+			}
+
+			if err := bv.Validate(true); err != nil {
+				t.Fatal(err)
+			}
+			if err := kdb.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if err := bang.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			_ = fmt.Sprint() // keep fmt for debugging ergonomics
+		})
+	}
+}

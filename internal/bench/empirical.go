@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"bvtree/internal/btree"
+	"bvtree/internal/bvtree"
+	"bvtree/internal/geometry"
+	"bvtree/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "emp-occ",
+		Title: "§6/§8: measured node occupancy and guard population of the BV-tree",
+		Run:   runEmpOccupancy,
+	})
+	register(Experiment{
+		ID:    "emp-path",
+		Title: "§6: exact-match search path length equals the height; guard-set bound",
+		Run:   runEmpPath,
+	})
+	register(Experiment{
+		ID:    "emp-1d",
+		Title: "§2: one-dimensional degeneration towards the B-tree",
+		Run:   runEmp1D,
+	})
+	register(Experiment{
+		ID:    "abl-pagesize",
+		Title: "§7.2 vs §7.3 ablation: uniform vs level-scaled index pages",
+		Run:   runAblPageSize,
+	})
+}
+
+func buildBV(opt bvtree.Options, pts []geometry.Point) (*bvtree.Tree, error) {
+	tr, err := bvtree.New(opt)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pts {
+		if err := tr.Insert(p, uint64(i)); err != nil {
+			return nil, fmt.Errorf("insert %d: %w", i, err)
+		}
+	}
+	return tr, nil
+}
+
+func runEmpOccupancy(w io.Writer, scale int) error {
+	n := 20000 * scale
+	t := newTable(w, "workload", "phase", "items", "height", "data pages",
+		"data occ min/avg", "index occ min/avg", "guards", "deferrals")
+	for _, kind := range workload.Kinds() {
+		pts, err := workload.Generate(kind, 2, n, 1)
+		if err != nil {
+			return err
+		}
+		tr, err := buildBV(bvtree.Options{Dims: 2, DataCapacity: 24, Fanout: 24}, pts)
+		if err != nil {
+			return err
+		}
+		if err := report(t, tr, string(kind), "insert"); err != nil {
+			return err
+		}
+		// Delete a random half and re-measure (the §5 claim: merge +
+		// redistribute keeps the structure healthy under deletion).
+		src := workload.NewSource(7)
+		for i := 0; i < n/2; i++ {
+			j := src.Intn(n)
+			if _, err := tr.Delete(pts[j], uint64(j)); err != nil {
+				return err
+			}
+		}
+		if err := report(t, tr, string(kind), "after 50% deletes"); err != nil {
+			return err
+		}
+		// §4/§5 demotion-without-split: reclaim stale guards left behind
+		// by the deletions.
+		if _, err := tr.Maintain(); err != nil {
+			return err
+		}
+		if err := report(t, tr, string(kind), "after Maintain"); err != nil {
+			return err
+		}
+	}
+	t.flush()
+	fmt.Fprintln(w, "shape check: data occ min >= ~33% after insert-only loads (paper guarantee);")
+	fmt.Fprintln(w, "guards are the price of zero cascades; deferrals count unresolved underflows;")
+	fmt.Fprintln(w, "Maintain demotes guards stranded by deletions (§4 demotion without a split)")
+	return nil
+}
+
+func report(t *table, tr *bvtree.Tree, kind, phase string) error {
+	st, err := tr.CollectStats()
+	if err != nil {
+		return err
+	}
+	idxMin, idxAvg := 101.0, 0.0
+	nodes := 0
+	for lvl, ls := range st.IndexLevels {
+		if lvl == st.Height && st.Height > 1 {
+			continue // the root is exempt from the floor, as in the B-tree
+		}
+		if ls.MinOccPct < idxMin {
+			idxMin = ls.MinOccPct
+		}
+		idxAvg += ls.AvgOccPct * float64(ls.Nodes)
+		nodes += ls.Nodes
+	}
+	if nodes > 0 {
+		idxAvg /= float64(nodes)
+	} else {
+		idxMin = 0
+	}
+	ops := tr.Stats()
+	t.row(kind, phase, st.Items, st.Height, st.DataPages,
+		fmt.Sprintf("%.0f%%/%.0f%%", st.DataMinOcc*100, st.DataAvgOcc*100),
+		fmt.Sprintf("%.0f%%/%.0f%%", idxMin, idxAvg),
+		fmt.Sprintf("%d (%.1f%%)", st.TotalGuards, st.GuardShare*100),
+		ops.MergeDeferrals)
+	return nil
+}
+
+func runEmpPath(w io.Writer, scale int) error {
+	t := newTable(w, "workload", "items", "height", "path len (all searches)",
+		"max guard set", "bound x-1", "accesses/op")
+	for _, kind := range workload.Kinds() {
+		for _, n := range []int{5000 * scale, 50000 * scale} {
+			pts, err := workload.Generate(kind, 3, n, 2)
+			if err != nil {
+				return err
+			}
+			tr, err := buildBV(bvtree.Options{Dims: 3, DataCapacity: 16, Fanout: 16}, pts)
+			if err != nil {
+				return err
+			}
+			h := tr.Height()
+			probe := pts
+			if len(probe) > 2000 {
+				probe = probe[:2000]
+			}
+			tr.ResetAccessCount()
+			uniform := true
+			maxGuards := 0
+			for _, p := range probe {
+				nodes, g, err := tr.SearchCost(p)
+				if err != nil {
+					return err
+				}
+				if nodes != h+1 {
+					uniform = false
+				}
+				if g > maxGuards {
+					maxGuards = g
+				}
+			}
+			acc := tr.ResetAccessCount()
+			pathDesc := fmt.Sprintf("= h+1 = %d", h+1)
+			if !uniform {
+				pathDesc = "VARIED (violation!)"
+			}
+			t.row(kind, n, h, pathDesc, maxGuards, h-1,
+				fmt.Sprintf("%.1f", float64(acc)/float64(len(probe))))
+		}
+	}
+	t.flush()
+	fmt.Fprintln(w, "shape check: every search visits exactly height+1 nodes — the unbalanced tree")
+	fmt.Fprintln(w, "behaves as a balanced one (§6); guard sets stay within the x-1 bound (§3)")
+	return nil
+}
+
+func runEmp1D(w io.Writer, scale int) error {
+	n := 50000 * scale
+	pts, err := workload.Generate(workload.Uniform, 1, n, 3)
+	if err != nil {
+		return err
+	}
+	const f = 24
+	tr, err := buildBV(bvtree.Options{Dims: 1, DataCapacity: f, Fanout: f}, pts)
+	if err != nil {
+		return err
+	}
+	bt, err := btree.New(f)
+	if err != nil {
+		return err
+	}
+	for i, p := range pts {
+		bt.Insert(p[0], uint64(i))
+	}
+	st, err := tr.CollectStats()
+	if err != nil {
+		return err
+	}
+	ops := tr.Stats()
+	t := newTable(w, "index", "items", "height", "data/leaf pages", "min data occ", "promotions")
+	t.row("BV-tree (1-d)", st.Items, st.Height, st.DataPages,
+		fmt.Sprintf("%.0f%%", st.DataMinOcc*100), ops.Promotions)
+	t.row("B+-tree", bt.Len(), bt.Height(), "-", ">=50% by construction", 0)
+	t.flush()
+	fmt.Fprintf(w, "guards in 1-d BV-tree: %d of %d index entries (%.2f%%)\n",
+		st.TotalGuards, totalEntries(st), st.GuardShare*100)
+	fmt.Fprintln(w, "shape check: heights agree within 1 and promotions stay near zero — the BV-tree")
+	fmt.Fprintln(w, "specialises towards the B-tree in one dimension (§2)")
+	return nil
+}
+
+func totalEntries(st *bvtree.TreeStats) int {
+	n := 0
+	for _, ls := range st.IndexLevels {
+		n += ls.Entries
+	}
+	return n
+}
+
+func runAblPageSize(w io.Writer, scale int) error {
+	n := 30000 * scale
+	t := newTable(w, "workload", "pages", "height", "root entries worst", "soft overflows", "guards", "promotions")
+	for _, kind := range []workload.Kind{workload.Nested, workload.Clustered, workload.Uniform} {
+		pts, err := workload.Generate(kind, 2, n, 4)
+		if err != nil {
+			return err
+		}
+		for _, scaled := range []bool{false, true} {
+			opt := bvtree.Options{Dims: 2, DataCapacity: 8, Fanout: 8, LevelScaledPages: scaled}
+			tr, err := buildBV(opt, pts)
+			if err != nil {
+				return err
+			}
+			st, err := tr.CollectStats()
+			if err != nil {
+				return err
+			}
+			ops := tr.Stats()
+			mode := "uniform"
+			if scaled {
+				mode = "level-scaled (§7.3)"
+			}
+			maxRoot := 0
+			if ls, ok := st.IndexLevels[st.Height]; ok {
+				maxRoot = ls.MaxEntries
+			}
+			t.row(string(kind), mode, st.Height, maxRoot, ops.SoftOverflows,
+				st.TotalGuards, ops.Promotions)
+		}
+	}
+	t.flush()
+	fmt.Fprintln(w, "shape check: level-scaled pages absorb the guard population the paper's §7.3")
+	fmt.Fprintln(w, "predicts, eliminating soft overflows that uniform pages suffer under nesting")
+	return nil
+}

@@ -1,0 +1,356 @@
+// Package btree implements a classic in-memory B+-tree over uint64 keys
+// with uint64 payloads. It serves two roles in this module: it is the
+// one-dimensional reference the BV-tree must degenerate towards (§2 of the
+// paper), and it is the substrate of the Z-order-mapping baseline of
+// package zbtree [Ore86].
+package btree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tree is a B+-tree. Duplicate keys are allowed; items with equal keys are
+// adjacent in leaf order. The zero value is not usable; call New.
+type Tree struct {
+	order    int // max keys per node
+	root     *node
+	height   int // number of internal levels above the leaves (0 = root is leaf)
+	size     int
+	accesses uint64
+}
+
+type node struct {
+	// Internal nodes: keys[i] is the smallest key reachable through
+	// children[i+1]; len(children) == len(keys)+1.
+	// Leaves: keys and vals are parallel; next links the leaf chain.
+	leaf     bool
+	keys     []uint64
+	vals     []uint64
+	children []*node
+	next     *node
+}
+
+// New returns an empty B+-tree with the given order (maximum keys per
+// node, minimum 3).
+func New(order int) (*Tree, error) {
+	if order < 3 {
+		return nil, fmt.Errorf("btree: order %d below minimum 3", order)
+	}
+	return &Tree{order: order, root: &node{leaf: true}}, nil
+}
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of internal levels above the leaves.
+func (t *Tree) Height() int { return t.height }
+
+// NodeAccesses returns the cumulative count of node visits.
+func (t *Tree) NodeAccesses() uint64 { return t.accesses }
+
+// ResetAccesses zeroes the access counter and returns the prior value.
+func (t *Tree) ResetAccesses() uint64 {
+	v := t.accesses
+	t.accesses = 0
+	return v
+}
+
+// Insert stores (key, val).
+func (t *Tree) Insert(key, val uint64) {
+	sep, right := t.insert(t.root, key, val)
+	if right != nil {
+		t.root = &node{
+			keys:     []uint64{sep},
+			children: []*node{t.root, right},
+		}
+		t.height++
+	}
+	t.size++
+}
+
+// insert returns a separator and new right sibling when n split.
+func (t *Tree) insert(n *node, key, val uint64) (uint64, *node) {
+	t.accesses++
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, 0)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		if len(n.keys) <= t.order {
+			return 0, nil
+		}
+		mid := len(n.keys) / 2
+		right := &node{
+			leaf: true,
+			keys: append([]uint64(nil), n.keys[mid:]...),
+			vals: append([]uint64(nil), n.vals[mid:]...),
+			next: n.next,
+		}
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		n.next = right
+		return right.keys[0], right
+	}
+	ci := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+	sep, right := t.insert(n.children[ci], key, val)
+	if right == nil {
+		return 0, nil
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = right
+	if len(n.keys) <= t.order {
+		return 0, nil
+	}
+	mid := len(n.keys) / 2
+	upSep := n.keys[mid]
+	rn := &node{
+		keys:     append([]uint64(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return upSep, rn
+}
+
+// Search returns the payloads of every item with the given key.
+//
+// Duplicates may straddle leaf boundaries (a split can divide a run of
+// equal keys), so the descent goes to the leftmost candidate leaf and the
+// scan continues along the leaf chain until a larger key appears.
+func (t *Tree) Search(key uint64) []uint64 {
+	n := t.root
+	for !n.leaf {
+		t.accesses++
+		ci := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		n = n.children[ci]
+	}
+	var out []uint64
+	for n != nil {
+		t.accesses++
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		for ; i < len(n.keys) && n.keys[i] == key; i++ {
+			out = append(out, n.vals[i])
+		}
+		if i < len(n.keys) {
+			break // reached a key greater than the target
+		}
+		n = n.next
+	}
+	return out
+}
+
+// Range invokes visit for every item with lo <= key <= hi, in key order.
+// Returning false stops the scan.
+func (t *Tree) Range(lo, hi uint64, visit func(key, val uint64) bool) {
+	n := t.root
+	for !n.leaf {
+		t.accesses++
+		ci := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= lo })
+		n = n.children[ci]
+	}
+	for n != nil {
+		t.accesses++
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= lo })
+		for ; i < len(n.keys); i++ {
+			if n.keys[i] > hi {
+				return
+			}
+			if !visit(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// Delete removes one item matching (key, val) and reports success. Nodes
+// are rebalanced by redistribution or merge to keep the classic half-full
+// minimum (except the root).
+func (t *Tree) Delete(key, val uint64) bool {
+	ok := t.delete(t.root, key, val)
+	if !ok {
+		return false
+	}
+	t.size--
+	// Shrink the root.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+		t.height--
+	}
+	return true
+}
+
+func (t *Tree) delete(n *node, key, val uint64) bool {
+	t.accesses++
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		for ; i < len(n.keys) && n.keys[i] == key; i++ {
+			if n.vals[i] == val {
+				n.keys = append(n.keys[:i], n.keys[i+1:]...)
+				n.vals = append(n.vals[:i], n.vals[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	// Items with equal keys may straddle child boundaries: start at the
+	// leftmost candidate child and try successive children while the
+	// separator to their left equals the key.
+	ci := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	for ci < len(n.children) {
+		if t.delete(n.children[ci], key, val) {
+			t.rebalance(n, ci)
+			return true
+		}
+		if ci < len(n.keys) && n.keys[ci] == key {
+			ci++
+			continue
+		}
+		return false
+	}
+	return false
+}
+
+func (t *Tree) minKeys() int { return t.order / 2 }
+
+// rebalance restores the minimum occupancy of n.children[ci].
+func (t *Tree) rebalance(n *node, ci int) {
+	c := n.children[ci]
+	if len(c.keys) >= t.minKeys() {
+		return
+	}
+	// Try borrowing from the left sibling.
+	if ci > 0 {
+		l := n.children[ci-1]
+		if len(l.keys) > t.minKeys() {
+			if c.leaf {
+				c.keys = append([]uint64{l.keys[len(l.keys)-1]}, c.keys...)
+				c.vals = append([]uint64{l.vals[len(l.vals)-1]}, c.vals...)
+				l.keys = l.keys[:len(l.keys)-1]
+				l.vals = l.vals[:len(l.vals)-1]
+				n.keys[ci-1] = c.keys[0]
+			} else {
+				c.keys = append([]uint64{n.keys[ci-1]}, c.keys...)
+				c.children = append([]*node{l.children[len(l.children)-1]}, c.children...)
+				n.keys[ci-1] = l.keys[len(l.keys)-1]
+				l.keys = l.keys[:len(l.keys)-1]
+				l.children = l.children[:len(l.children)-1]
+			}
+			return
+		}
+	}
+	// Try borrowing from the right sibling.
+	if ci < len(n.children)-1 {
+		r := n.children[ci+1]
+		if len(r.keys) > t.minKeys() {
+			if c.leaf {
+				c.keys = append(c.keys, r.keys[0])
+				c.vals = append(c.vals, r.vals[0])
+				r.keys = r.keys[1:]
+				r.vals = r.vals[1:]
+				n.keys[ci] = r.keys[0]
+			} else {
+				c.keys = append(c.keys, n.keys[ci])
+				c.children = append(c.children, r.children[0])
+				n.keys[ci] = r.keys[0]
+				r.keys = r.keys[1:]
+				r.children = r.children[1:]
+			}
+			return
+		}
+	}
+	// Merge with a sibling.
+	if ci > 0 {
+		t.mergeChildren(n, ci-1)
+	} else if ci < len(n.children)-1 {
+		t.mergeChildren(n, ci)
+	}
+}
+
+// mergeChildren merges n.children[i+1] into n.children[i].
+func (t *Tree) mergeChildren(n *node, i int) {
+	l, r := n.children[i], n.children[i+1]
+	if l.leaf {
+		l.keys = append(l.keys, r.keys...)
+		l.vals = append(l.vals, r.vals...)
+		l.next = r.next
+	} else {
+		l.keys = append(l.keys, n.keys[i])
+		l.keys = append(l.keys, r.keys...)
+		l.children = append(l.children, r.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Validate checks the structural invariants: key ordering, child counts,
+// leaf chain consistency and item count.
+func (t *Tree) Validate() error {
+	count := 0
+	var prevLeaf *node
+	var walk func(n *node, depth int, lo, hi uint64, loOK, hiOK bool) error
+	walk = func(n *node, depth int, lo, hi uint64, loOK, hiOK bool) error {
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i-1] > n.keys[i] {
+				return fmt.Errorf("btree: unsorted keys at depth %d", depth)
+			}
+		}
+		for _, k := range n.keys {
+			if loOK && k < lo {
+				return fmt.Errorf("btree: key %d below separator %d", k, lo)
+			}
+			if hiOK && k > hi {
+				return fmt.Errorf("btree: key %d above separator %d", k, hi)
+			}
+		}
+		if n.leaf {
+			if depth != t.height {
+				return fmt.Errorf("btree: leaf at depth %d, height %d", depth, t.height)
+			}
+			if len(n.keys) != len(n.vals) {
+				return fmt.Errorf("btree: leaf keys/vals mismatch")
+			}
+			if prevLeaf != nil && prevLeaf.next != n {
+				return fmt.Errorf("btree: broken leaf chain")
+			}
+			prevLeaf = n
+			count += len(n.keys)
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("btree: internal node has %d children for %d keys", len(n.children), len(n.keys))
+		}
+		if n != t.root && len(n.keys) < t.minKeys() {
+			return fmt.Errorf("btree: internal underflow: %d keys", len(n.keys))
+		}
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			cloOK, chiOK := loOK, hiOK
+			if i > 0 {
+				clo, cloOK = n.keys[i-1], true
+			}
+			if i < len(n.keys) {
+				chi, chiOK = n.keys[i], true
+			}
+			if err := walk(c, depth+1, clo, chi, cloOK, chiOK); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0, 0, 0, false, false); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: walked %d items, size %d", count, t.size)
+	}
+	return nil
+}

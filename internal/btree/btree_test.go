@@ -1,0 +1,209 @@
+package btree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2); err == nil {
+		t.Fatal("order 2 accepted")
+	}
+	if _, err := New(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertSearchSequential(t *testing.T) {
+	tr, _ := New(4)
+	for i := uint64(0); i < 1000; i++ {
+		tr.Insert(i, i*10)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		got := tr.Search(i)
+		if len(got) != 1 || got[0] != i*10 {
+			t.Fatalf("Search(%d) = %v", i, got)
+		}
+	}
+	if got := tr.Search(5000); got != nil {
+		t.Fatalf("missing key returned %v", got)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr, _ := New(4)
+	for i := uint64(0); i < 50; i++ {
+		tr.Insert(7, i)
+		tr.Insert(9, 100+i)
+	}
+	got := tr.Search(7)
+	if len(got) != 50 {
+		t.Fatalf("Search(7) returned %d payloads", len(got))
+	}
+	seen := map[uint64]bool{}
+	for _, v := range got {
+		seen[v] = true
+	}
+	for i := uint64(0); i < 50; i++ {
+		if !seen[i] {
+			t.Fatalf("payload %d missing", i)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeOrderedAndComplete(t *testing.T) {
+	tr, _ := New(6)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 3000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		tr.Insert(keys[i], uint64(i))
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for trial := 0; trial < 40; trial++ {
+		lo, hi := rng.Uint64(), rng.Uint64()
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var got []uint64
+		tr.Range(lo, hi, func(k, v uint64) bool {
+			got = append(got, k)
+			return true
+		})
+		var want []uint64
+		for _, k := range keys {
+			if k >= lo && k <= hi {
+				want = append(want, k)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("range [%d,%d]: got %d keys, want %d", lo, hi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("range order mismatch at %d", i)
+			}
+			if i > 0 && got[i-1] > got[i] {
+				t.Fatal("range not sorted")
+			}
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tr, _ := New(4)
+	for i := uint64(0); i < 100; i++ {
+		tr.Insert(i, i)
+	}
+	n := 0
+	tr.Range(0, 99, func(k, v uint64) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestDeleteRandomAgainstModel(t *testing.T) {
+	tr, _ := New(5)
+	rng := rand.New(rand.NewSource(2))
+	type kv struct{ k, v uint64 }
+	var live []kv
+	for op := 0; op < 6000; op++ {
+		if len(live) == 0 || rng.Float64() < 0.55 {
+			k := uint64(rng.Intn(500)) // collisions likely
+			v := rng.Uint64()
+			tr.Insert(k, v)
+			live = append(live, kv{k, v})
+		} else {
+			i := rng.Intn(len(live))
+			if !tr.Delete(live[i].k, live[i].v) {
+				t.Fatalf("op %d: delete of live item failed", op)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if op%500 == 499 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			if tr.Len() != len(live) {
+				t.Fatalf("op %d: Len=%d want %d", op, tr.Len(), len(live))
+			}
+		}
+	}
+	if tr.Delete(12345678, 1) {
+		t.Fatal("delete of absent item succeeded")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	tr, _ := New(16)
+	rng := rand.New(rand.NewSource(3))
+	n := 100000
+	for i := 0; i < n; i++ {
+		tr.Insert(rng.Uint64(), uint64(i))
+	}
+	// height <= ceil(log_{order/2}(n)) + 1
+	maxH := int(math.Ceil(math.Log(float64(n))/math.Log(8))) + 1
+	if tr.Height() > maxH {
+		t.Fatalf("height %d exceeds bound %d for %d keys", tr.Height(), maxH, n)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessCounting(t *testing.T) {
+	tr, _ := New(4)
+	for i := uint64(0); i < 200; i++ {
+		tr.Insert(i, i)
+	}
+	tr.ResetAccesses()
+	tr.Search(77)
+	if got := tr.NodeAccesses(); got == 0 || got > uint64(tr.Height()+3) {
+		t.Fatalf("search accesses = %d, height %d", got, tr.Height())
+	}
+	if tr.ResetAccesses() == 0 {
+		t.Fatal("reset returned zero")
+	}
+	if tr.NodeAccesses() != 0 {
+		t.Fatal("reset did not zero counter")
+	}
+}
+
+func TestDeleteToEmptyAndReuse(t *testing.T) {
+	tr, _ := New(4)
+	for i := uint64(0); i < 300; i++ {
+		tr.Insert(i, i)
+	}
+	for i := uint64(0); i < 300; i++ {
+		if !tr.Delete(i, i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatalf("after drain: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	for i := uint64(0); i < 300; i++ {
+		tr.Insert(i, i+1)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Search(100); len(got) != 1 || got[0] != 101 {
+		t.Fatalf("reuse broken: %v", got)
+	}
+}

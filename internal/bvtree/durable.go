@@ -1,0 +1,141 @@
+package bvtree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bvtree/internal/geometry"
+	"bvtree/internal/storage"
+	"bvtree/internal/wal"
+)
+
+// DurableTree wraps a paged Tree with a logical write-ahead log: every
+// Insert and Delete is appended (and fsynced) to the log before it is
+// applied, and Checkpoint persists the tree and empties the log. Opening
+// after a crash replays the operations logged since the last checkpoint
+// onto the checkpointed tree state, so no acknowledged update is lost.
+type DurableTree struct {
+	*Tree
+	log *wal.Log
+}
+
+// NewDurable creates a durable tree over a fresh store, logging to
+// walPath.
+func NewDurable(st storage.Store, walPath string, opt Options) (*DurableTree, error) {
+	tr, err := NewPaged(st, opt)
+	if err != nil {
+		return nil, err
+	}
+	l, err := wal.Open(walPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Reset(); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return &DurableTree{Tree: tr, log: l}, nil
+}
+
+// OpenDurable reopens a durable tree: the checkpointed state is loaded
+// from the store and any operations logged after it are replayed.
+func OpenDurable(st storage.Store, walPath string, cacheNodes int) (*DurableTree, error) {
+	tr, err := OpenPaged(st, cacheNodes)
+	if err != nil {
+		return nil, err
+	}
+	l, err := wal.Open(walPath)
+	if err != nil {
+		return nil, err
+	}
+	d := &DurableTree{Tree: tr, log: l}
+	if err := l.Replay(func(rec []byte) error { return d.apply(rec) }); err != nil {
+		l.Close()
+		return nil, fmt.Errorf("bvtree: wal replay: %w", err)
+	}
+	return d, nil
+}
+
+const (
+	opInsert byte = 1
+	opDelete byte = 2
+)
+
+func encodeOp(op byte, p geometry.Point, payload uint64) []byte {
+	rec := make([]byte, 0, 2+8*len(p)+8)
+	rec = append(rec, op, byte(len(p)))
+	for _, c := range p {
+		rec = binary.LittleEndian.AppendUint64(rec, c)
+	}
+	rec = binary.LittleEndian.AppendUint64(rec, payload)
+	return rec
+}
+
+func (d *DurableTree) apply(rec []byte) error {
+	if len(rec) < 2 {
+		return fmt.Errorf("bvtree: short wal record")
+	}
+	dims := int(rec[1])
+	if len(rec) != 2+8*dims+8 {
+		return fmt.Errorf("bvtree: wal record length %d for %d dims", len(rec), dims)
+	}
+	p := make(geometry.Point, dims)
+	for i := range p {
+		p[i] = binary.LittleEndian.Uint64(rec[2+8*i:])
+	}
+	payload := binary.LittleEndian.Uint64(rec[2+8*dims:])
+	switch rec[0] {
+	case opInsert:
+		return d.Tree.Insert(p, payload)
+	case opDelete:
+		_, err := d.Tree.Delete(p, payload)
+		return err
+	default:
+		return fmt.Errorf("bvtree: unknown wal op %d", rec[0])
+	}
+}
+
+// Insert logs the operation durably, then applies it.
+func (d *DurableTree) Insert(p geometry.Point, payload uint64) error {
+	if err := d.log.Append(encodeOp(opInsert, p, payload)); err != nil {
+		return err
+	}
+	if err := d.log.Sync(); err != nil {
+		return err
+	}
+	return d.Tree.Insert(p, payload)
+}
+
+// Delete logs the operation durably, then applies it.
+func (d *DurableTree) Delete(p geometry.Point, payload uint64) (bool, error) {
+	if err := d.log.Append(encodeOp(opDelete, p, payload)); err != nil {
+		return false, err
+	}
+	if err := d.log.Sync(); err != nil {
+		return false, err
+	}
+	return d.Tree.Delete(p, payload)
+}
+
+// Checkpoint persists the tree state and empties the log. After a
+// successful checkpoint, recovery starts from this state.
+func (d *DurableTree) Checkpoint() error {
+	if err := d.Tree.Flush(); err != nil {
+		return err
+	}
+	return d.log.Reset()
+}
+
+// LogSize returns the bytes of operations logged since the last
+// checkpoint.
+func (d *DurableTree) LogSize() int64 { return d.log.Size() }
+
+// Close checkpoints and closes the log. The page store remains the
+// caller's to close.
+func (d *DurableTree) Close() error {
+	if err := d.Checkpoint(); err != nil {
+		d.log.Close()
+		return err
+	}
+	return d.log.Close()
+}

@@ -1,0 +1,195 @@
+package bvtree
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bvtree/internal/geometry"
+	"bvtree/internal/storage"
+)
+
+func TestDurableCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "tree.db")
+	walPath := filepath.Join(dir, "tree.wal")
+
+	st, err := storage.CreateFileStore(dbPath, storage.FileStoreOptions{SlotSize: 512, PinDirty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDurable(st, walPath, Options{Dims: 2, DataCapacity: 8, Fanout: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(91))
+	var checkpointed, unlogged []geometry.Point
+	for i := 0; i < 1500; i++ {
+		p := clusteredPoint(rng, 2)
+		checkpointed = append(checkpointed, p)
+		if err := d.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint operations: logged but never flushed to the store.
+	for i := 1500; i < 2200; i++ {
+		p := clusteredPoint(rng, 2)
+		unlogged = append(unlogged, p)
+		if err := d.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete some checkpointed items post-checkpoint as well.
+	for i := 0; i < 200; i++ {
+		if ok, err := d.Delete(checkpointed[i], uint64(i)); err != nil || !ok {
+			t.Fatalf("delete %d: %v %v", i, ok, err)
+		}
+	}
+	if d.LogSize() == 0 {
+		t.Fatal("wal empty despite post-checkpoint operations")
+	}
+	// Simulate a crash: abandon the store and log without closing them.
+	// With PinDirty the on-disk image is exactly the last checkpoint.
+
+	st2, err := storage.OpenFileStore(dbPath, storage.FileStoreOptions{PinDirty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	re, err := OpenDurable(st2, walPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 1500+700-200 {
+		t.Fatalf("recovered Len=%d, want %d", re.Len(), 1500+700-200)
+	}
+	if err := re.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 200; i < 1500; i++ {
+		found, err := contains(re.Tree, checkpointed[i], uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("checkpointed item %d missing after recovery", i)
+		}
+	}
+	for i, p := range unlogged {
+		found, err := contains(re.Tree, p, uint64(1500+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("logged-but-unflushed item %d missing after recovery", 1500+i)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		found, err := contains(re.Tree, checkpointed[i], uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found {
+			t.Fatalf("deleted item %d resurrected by recovery", i)
+		}
+	}
+}
+
+func contains(tr *Tree, p geometry.Point, payload uint64) (bool, error) {
+	got, err := tr.Lookup(p)
+	if err != nil {
+		return false, err
+	}
+	for _, v := range got {
+		if v == payload {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func TestDurableTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "tree.db")
+	walPath := filepath.Join(dir, "tree.wal")
+
+	st, err := storage.CreateFileStore(dbPath, storage.FileStoreOptions{PinDirty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDurable(st, walPath, Options{Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(92))
+	pts := make([]geometry.Point, 50)
+	for i := range pts {
+		pts[i] = randPoint(rng, 2)
+		if err := d.Insert(pts[i], uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a crash mid-append: garbage at the tail of the WAL.
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x13, 0x37, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, err := storage.OpenFileStore(dbPath, storage.FileStoreOptions{PinDirty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	re, err := OpenDurable(st2, walPath, 0)
+	if err != nil {
+		t.Fatalf("torn tail must not break recovery: %v", err)
+	}
+	defer re.Close()
+	if re.Len() != len(pts) {
+		t.Fatalf("recovered %d of %d items", re.Len(), len(pts))
+	}
+	for i, p := range pts {
+		found, err := contains(re.Tree, p, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("item %d missing", i)
+		}
+	}
+}
+
+func TestDurableCheckpointEmptiesLog(t *testing.T) {
+	dir := t.TempDir()
+	st, err := storage.CreateFileStore(filepath.Join(dir, "t.db"), storage.FileStoreOptions{PinDirty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	d, err := NewDurable(st, filepath.Join(dir, "t.wal"), Options{Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Insert(geometry.Point{1, 2}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if d.LogSize() == 0 {
+		t.Fatal("log empty after insert")
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if d.LogSize() != 0 {
+		t.Fatalf("log size %d after checkpoint", d.LogSize())
+	}
+}

@@ -1,0 +1,522 @@
+package bvtree
+
+import (
+	"errors"
+	"fmt"
+
+	"bvtree/internal/geometry"
+	"bvtree/internal/page"
+	"bvtree/internal/region"
+)
+
+// opCtx carries per-operation bookkeeping: the physical parent of every
+// node entered during this operation's descents. "Physical parent" means
+// the node where the child's entry resides, which — because of guard
+// promotion — is not necessarily one index level above the child. Split
+// overflow propagates along this chain.
+type opCtx struct {
+	parents map[page.ID]page.ID
+}
+
+func newOpCtx() *opCtx { return &opCtx{parents: make(map[page.ID]page.ID)} }
+
+// Insert adds an item at point p with the given payload. Duplicate points
+// are allowed and accumulate.
+func (t *Tree) Insert(p geometry.Point, payload uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	defer t.endOp()
+	key, err := t.addr(p)
+	if err != nil {
+		return err
+	}
+	item := page.Item{Point: p.Clone(), Payload: payload}
+	ctx := newOpCtx()
+
+	if t.rootLevel == 0 {
+		dp, err := t.fetchData(t.root)
+		if err != nil {
+			return err
+		}
+		dp.Items = append(dp.Items, item)
+		t.size++
+		if err := t.st.SaveData(t.root, dp); err != nil {
+			return err
+		}
+		if len(dp.Items) > t.opt.DataCapacity {
+			return t.splitDataPage(ctx, t.root, page.Nil)
+		}
+		return nil
+	}
+
+	d, err := t.descendPointCtx(ctx, key)
+	if err != nil {
+		return err
+	}
+	dp, err := t.fetchData(d.dataID)
+	if err != nil {
+		return err
+	}
+	dp.Items = append(dp.Items, item)
+	t.size++
+	if err := t.st.SaveData(d.dataID, dp); err != nil {
+		return err
+	}
+	if len(dp.Items) > t.opt.DataCapacity {
+		return t.splitDataPage(ctx, d.dataID, d.dataSrcID)
+	}
+	return nil
+}
+
+// descendPointCtx is descendPoint plus physical-parent recording.
+func (t *Tree) descendPointCtx(ctx *opCtx, target region.BitString) (*descent, error) {
+	d, err := t.descendPoint(target)
+	if err != nil {
+		return nil, err
+	}
+	// Reconstruct physical parents from the recorded steps: the child
+	// entered from step i resides in the entry followed at step i, whose
+	// physical home is step i's node (unpromoted) or the guard's source
+	// node. descendPoint stores the guard source only for the final data
+	// entry, so recover intermediate guard sources by re-examining steps.
+	for i := 0; i < len(d.steps); i++ {
+		step := d.steps[i]
+		var childID page.ID
+		if i+1 < len(d.steps) {
+			childID = d.steps[i+1].id
+		} else {
+			childID = d.dataID
+		}
+		if step.followed >= 0 {
+			ctx.parents[childID] = step.id
+		} else {
+			// Followed a guard collected at some node on the path above;
+			// the final data case records its source, and intermediate
+			// guard hops record the source via guardSrc.
+			ctx.parents[childID] = d.guardSrc[i]
+		}
+	}
+	return d, nil
+}
+
+// splitDataPage splits the overflowing data page dataID, whose level-0
+// entry resides in node srcNodeID (page.Nil when the page is the root).
+// The split always produces an inner region enclosed by the outer one
+// (§4): the outer page keeps its key and its position — which may be a
+// guard position — and the new inner entry is placed by a single
+// placement descent.
+func (t *Tree) splitDataPage(ctx *opCtx, dataID, srcNodeID page.ID) error {
+	dp, err := t.fetchData(dataID)
+	if err != nil {
+		return err
+	}
+	addrs := make([]region.BitString, len(dp.Items))
+	for i, it := range dp.Items {
+		a, err := t.addr(it.Point)
+		if err != nil {
+			return err
+		}
+		addrs[i] = a
+	}
+	choice, err := region.ChooseSplit(dp.Region, addrs)
+	if errors.Is(err, region.ErrCannotSplit) {
+		// Pathological duplicate data: tolerate an oversized page rather
+		// than lose the non-intersection invariant.
+		t.stats.SoftOverflows++
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	q := choice.Prefix
+	innerID, inner, err := t.st.AllocData(q)
+	if err != nil {
+		return err
+	}
+	keep := dp.Items[:0]
+	for i, it := range dp.Items {
+		if q.IsPrefixOf(addrs[i]) {
+			inner.Items = append(inner.Items, it)
+		} else {
+			keep = append(keep, it)
+		}
+	}
+	dp.Items = keep
+	t.stats.DataSplits++
+	if err := t.st.SaveData(dataID, dp); err != nil {
+		return err
+	}
+	if err := t.st.SaveData(innerID, inner); err != nil {
+		return err
+	}
+
+	entry := page.Entry{Key: q, Level: 0, Child: innerID}
+	srcLevel := 0
+	if srcNodeID != page.Nil {
+		if sn, err := t.st.Index(srcNodeID); err == nil {
+			srcLevel = sn.Level
+		}
+	}
+	if srcNodeID == page.Nil {
+		// The root itself was a data page: grow a one-level index.
+		rootID, rootNode, err := t.st.AllocIndex(1, dp.Region)
+		if err != nil {
+			return err
+		}
+		rootNode.Entries = []page.Entry{
+			{Key: dp.Region, Level: 0, Child: dataID},
+			entry,
+		}
+		if err := t.st.SaveIndex(rootID, rootNode); err != nil {
+			return err
+		}
+		t.root = rootID
+		t.rootLevel = 1
+		t.stats.RootGrowths++
+	} else {
+		// Place the inner entry by a single descent from the root (§4):
+		// starting lower would miss guards collected above, and the stop
+		// rule may legitimately park the new region at any level where it
+		// encloses an existing boundary.
+		landed, err := t.placeEntry(ctx, t.root, entry)
+		if err != nil {
+			return err
+		}
+		// §4: when a promoted (guard) region splits, the inner half may
+		// be demotable towards its natural level.
+		if srcLevel > 1 && landed < srcLevel {
+			t.stats.Demotions++
+		}
+	}
+	return t.resplitOversized(ctx, dataID, innerID)
+}
+
+// resplitOversized handles the rare recovery case where a split of a page
+// that had soft-overflowed leaves a half still above capacity: it
+// re-descends and splits again.
+func (t *Tree) resplitOversized(ctx *opCtx, ids ...page.ID) error {
+	for _, id := range ids {
+		for {
+			dp, err := t.fetchData(id)
+			if err != nil {
+				return err
+			}
+			if len(dp.Items) <= t.opt.DataCapacity {
+				break
+			}
+			a, err := t.addr(dp.Items[0].Point)
+			if err != nil {
+				return err
+			}
+			c2 := newOpCtx()
+			d, err := t.descendPointCtx(c2, a)
+			if err != nil {
+				return err
+			}
+			if d.dataID != id {
+				return fmt.Errorf("bvtree: oversized page %d not reachable by its own items (got %d)", id, d.dataID)
+			}
+			before := t.stats.DataSplits + t.stats.SoftOverflows
+			if err := t.splitDataPage(c2, id, d.dataSrcID); err != nil {
+				return err
+			}
+			if t.stats.DataSplits+t.stats.SoftOverflows == before {
+				break // no progress possible
+			}
+			if t.stats.SoftOverflows > 0 {
+				// Tolerated oversize; stop to avoid looping.
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// placeEntry inserts entry e into the subtree reachable from startID,
+// following the paper's demotion/insertion procedure (§4): a single
+// descent that stops either at e's natural index level (e.Level+1) or at
+// the first node containing a higher-level entry whose region e encloses —
+// in which case e must remain there as a guard, because its region
+// straddles that entry's boundary. It returns the index level of the node
+// that received the entry.
+func (t *Tree) placeEntry(ctx *opCtx, startID page.ID, e page.Entry) (int, error) {
+	cur := startID
+	n, err := t.fetchIndex(cur)
+	if err != nil {
+		return 0, err
+	}
+	var guards []*guardRef
+	for {
+		if n.Level == e.Level+1 || needsGuard(n, e) {
+			return n.Level, t.insertIntoNode(ctx, cur, n, e)
+		}
+		if n.Level <= e.Level {
+			return 0, fmt.Errorf("bvtree: placement of level-%d entry reached index level %d", e.Level, n.Level)
+		}
+		if guards == nil {
+			guards = make([]*guardRef, n.Level)
+		}
+		// Merge matching guards of this node into the placement guard set.
+		for i := range n.Entries {
+			en := &n.Entries[i]
+			if en.Level < n.Level-1 && en.Level < len(guards) && en.Key.IsPrefixOf(e.Key) {
+				g := guards[en.Level]
+				if g == nil || en.Key.Len() > g.entry.Key.Len() {
+					guards[en.Level] = &guardRef{entry: *en, srcID: cur, srcIdx: i}
+				}
+			}
+		}
+		bestIdx, bestLen := -1, -1
+		for i := range n.Entries {
+			en := &n.Entries[i]
+			if en.Level == n.Level-1 && en.Key.Len() > bestLen && en.Key.IsPrefixOf(e.Key) {
+				bestIdx, bestLen = i, en.Key.Len()
+			}
+		}
+		g := guards[n.Level-1]
+		guards[n.Level-1] = nil
+		var next page.ID
+		var parent page.ID
+		switch {
+		case g != nil && g.entry.Key.Len() > bestLen:
+			next, parent = g.entry.Child, g.srcID
+		case bestIdx >= 0:
+			next, parent = n.Entries[bestIdx].Child, cur
+		default:
+			return 0, fmt.Errorf("bvtree: no route for entry %v (level %d) at node %d", e.Key, e.Level, cur)
+		}
+		ctx.parents[next] = parent
+		cur = next
+		n, err = t.fetchIndex(cur)
+		if err != nil {
+			return 0, err
+		}
+	}
+}
+
+// needsGuard reports whether e must stay at node n: some higher-level
+// entry's region boundary lies inside e's region, so e's region straddles
+// a partition boundary represented here and must stay visible to searches
+// descending either side of it.
+//
+// A region's point set is its brick minus the bricks of same-level regions
+// it encloses, so e is "shielded" from a boundary s when another region of
+// e's own level sits between e and s: the boundary then lies in one of e's
+// holes and e's actual point set does not straddle it. This is the paper's
+// direct-enclosure refinement (§2, §4) and is what bounds the number of
+// guards per node to at most one per partition level per unpromoted entry.
+func needsGuard(n *page.IndexNode, e page.Entry) bool {
+	for i := range n.Entries {
+		s := &n.Entries[i]
+		if s.Level > e.Level && e.Key.IsProperPrefixOf(s.Key) && !shielded(n, e, s.Key) {
+			return true
+		}
+	}
+	return false
+}
+
+// chooseIndexSplit selects the split prefix for an overflowing index
+// node: among every prefix of the node's entry keys (strictly extending
+// the node region), pick the one maximising min(inner, outer) after
+// accounting for promotions — entries whose key is an unshielded proper
+// prefix of the boundary leave for the parent and count towards neither
+// side. A plain 1/3–2/3 descent over the unpromoted keys (as used for
+// data pages) is blind to promotion chains and can strand an empty or
+// singleton outer node; this chooser degrades gracefully instead,
+// achieving the balanced split whenever one exists. ok is false when no
+// prefix separates the entries.
+func chooseIndexSplit(n *page.IndexNode) (region.BitString, bool) {
+	seen := make(map[string]region.BitString)
+	for _, e := range n.Entries {
+		for l := n.Region.Len() + 1; l <= e.Key.Len(); l++ {
+			p := e.Key.Prefix(l)
+			seen[p.String()] = p
+		}
+	}
+	var best region.BitString
+	bestScore, bestProm, bestLen := -1, 1<<30, -1
+	for _, q := range seen {
+		inner, outer, prom := 0, 0, 0
+		for _, e := range n.Entries {
+			switch {
+			case q.IsPrefixOf(e.Key):
+				inner++
+			case e.Key.IsProperPrefixOf(q) && !shieldedFromSplit(n.Entries, e, q):
+				prom++
+			default:
+				outer++
+			}
+		}
+		if inner == 0 || inner == len(n.Entries) {
+			continue
+		}
+		score := inner
+		if outer < score {
+			score = outer
+		}
+		// Prefer better balance, then fewer promotions (each promotion
+		// costs a parent slot until demoted), then shallower boundaries.
+		if score > bestScore ||
+			(score == bestScore && prom < bestProm) ||
+			(score == bestScore && prom == bestProm && q.Len() < bestLen) {
+			best, bestScore, bestProm, bestLen = q, score, prom, q.Len()
+		}
+	}
+	if bestScore < 1 {
+		return region.BitString{}, false
+	}
+	return best, true
+}
+
+// shieldedFromSplit reports whether some entry of en's level among all
+// lies strictly between en and the split prefix q.
+func shieldedFromSplit(all []page.Entry, en page.Entry, q region.BitString) bool {
+	for i := range all {
+		g := &all[i]
+		if g.Level == en.Level && en.Key.IsProperPrefixOf(g.Key) && g.Key.IsPrefixOf(q) {
+			return true
+		}
+	}
+	return false
+}
+
+// shielded reports whether some entry of e's level in n lies strictly
+// between e and the boundary key: e.Key ⊊ g.Key ⊑ boundary.
+func shielded(n *page.IndexNode, e page.Entry, boundary region.BitString) bool {
+	for i := range n.Entries {
+		g := &n.Entries[i]
+		if g.Level == e.Level && e.Key.IsProperPrefixOf(g.Key) && g.Key.IsPrefixOf(boundary) {
+			return true
+		}
+	}
+	return false
+}
+
+// insertIntoNode appends e to node n (id) and resolves overflow by
+// splitting the node.
+func (t *Tree) insertIntoNode(ctx *opCtx, id page.ID, n *page.IndexNode, e page.Entry) error {
+	n.Entries = append(n.Entries, e)
+	if err := t.st.SaveIndex(id, n); err != nil {
+		return err
+	}
+	if len(n.Entries) > t.capacity(n.Level) {
+		return t.splitIndexNode(ctx, id, n)
+	}
+	return nil
+}
+
+// splitIndexNode splits an overflowing index node. The split prefix is
+// chosen over the node's unpromoted entry keys with the 1/3–2/3
+// guarantee; every entry whose key is a proper prefix of the chosen
+// boundary — including already-promoted guards, per the generalised
+// promotion rule of §2 — is promoted to the physical parent alongside the
+// new inner entry.
+func (t *Tree) splitIndexNode(ctx *opCtx, id page.ID, n *page.IndexNode) error {
+	q, ok := chooseIndexSplit(n)
+	if !ok {
+		t.stats.SoftOverflows++
+		return nil
+	}
+
+	var innerEntries, outer, promoted []page.Entry
+	all := n.Entries
+	for _, en := range all {
+		switch {
+		case q.IsPrefixOf(en.Key):
+			innerEntries = append(innerEntries, en)
+		case en.Key.IsProperPrefixOf(q):
+			// en's region straddles the new boundary q — unless a region
+			// of en's own level lies between en and q, in which case q's
+			// brick is inside one of en's holes and en's point set stays
+			// entirely on the outer side. Only the unshielded (tightest
+			// per level) straddlers are promoted; this is what bounds
+			// guard accumulation to the paper's (x-1) per unpromoted
+			// entry.
+			if shieldedFromSplit(all, en, q) {
+				outer = append(outer, en)
+			} else {
+				promoted = append(promoted, en)
+			}
+		default:
+			outer = append(outer, en)
+		}
+	}
+	n.Entries = outer
+	t.stats.IndexSplits++
+	t.stats.Promotions += uint64(len(promoted))
+	if err := t.st.SaveIndex(id, n); err != nil {
+		return err
+	}
+
+	var innerPost page.Entry
+	if len(innerEntries) == 1 {
+		// Degenerate inner side: region q's entire content is one region
+		// that coincides with (or fills) it. Wrapping it in a node of its
+		// own would create a single-entry node below the occupancy floor;
+		// posting the entry itself is equivalent — the guard-set search
+		// routes through it exactly as it routes through any promoted
+		// entry.
+		innerPost = innerEntries[0]
+	} else {
+		innerID, inner, err := t.st.AllocIndex(n.Level, q)
+		if err != nil {
+			return err
+		}
+		inner.Entries = innerEntries
+		if err := t.st.SaveIndex(innerID, inner); err != nil {
+			return err
+		}
+		innerPost = page.Entry{Key: q, Level: n.Level, Child: innerID}
+	}
+
+	newEntries := append([]page.Entry{innerPost}, promoted...)
+
+	parentID, hasParent := ctx.parents[id]
+	if !hasParent {
+		if id != t.root {
+			return fmt.Errorf("bvtree: split of node %d has no recorded parent and is not the root", id)
+		}
+		rootID, rootNode, err := t.st.AllocIndex(n.Level+1, n.Region)
+		if err != nil {
+			return err
+		}
+		rootNode.Entries = append([]page.Entry{{Key: n.Region, Level: n.Level, Child: id}}, newEntries...)
+		if err := t.st.SaveIndex(rootID, rootNode); err != nil {
+			return err
+		}
+		t.root = rootID
+		t.rootLevel = rootNode.Level
+		t.stats.RootGrowths++
+		if len(rootNode.Entries) > t.capacity(rootNode.Level) {
+			// A root split promotes (at most) one guard per partition
+			// level, so when the fan-out is small relative to the height
+			// a fresh root can exceed capacity immediately and splitting
+			// it again cannot converge. The paper's remedy is a fan-out
+			// that grows with the level (§6, §7.3 — LevelScaledPages);
+			// with uniform pages we accept a temporarily oversized root
+			// and record it.
+			if t.opt.LevelScaledPages {
+				return t.splitIndexNode(ctx, rootID, rootNode)
+			}
+			if len(rootNode.Entries) <= 2+rootNode.Level {
+				t.stats.SoftOverflows++
+				return nil
+			}
+			return t.splitIndexNode(ctx, rootID, rootNode)
+		}
+		return nil
+	}
+
+	parent, err := t.fetchIndex(parentID)
+	if err != nil {
+		return err
+	}
+	parent.Entries = append(parent.Entries, newEntries...)
+	if err := t.st.SaveIndex(parentID, parent); err != nil {
+		return err
+	}
+	if len(parent.Entries) > t.capacity(parent.Level) {
+		return t.splitIndexNode(ctx, parentID, parent)
+	}
+	return nil
+}

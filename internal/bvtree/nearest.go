@@ -1,0 +1,161 @@
+package bvtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"bvtree/internal/geometry"
+	"bvtree/internal/page"
+	"bvtree/internal/region"
+)
+
+// Neighbor is one result of a nearest-neighbour search.
+type Neighbor struct {
+	Point   geometry.Point
+	Payload uint64
+	// Dist is the Euclidean distance to the query point, measured in
+	// units of the uint64 coordinate domain.
+	Dist float64
+}
+
+// Nearest returns the k stored items closest to p in Euclidean distance,
+// nearest first. It runs a best-first search over the partition hierarchy:
+// a priority queue orders subtrees by the minimum distance from p to
+// their region bricks, so only nodes that could contain a closer point
+// than the current k-th candidate are ever visited. A region's points are
+// a subset of its brick, so the brick lower bound is valid.
+func (t *Tree) Nearest(p geometry.Point, k int) ([]Neighbor, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	defer t.endOp()
+	if len(p) != t.opt.Dims {
+		return nil, fmt.Errorf("bvtree: point has %d dims, tree has %d", len(p), t.opt.Dims)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+
+	pq := &distHeap{}
+	heap.Init(pq)
+	if t.rootLevel == 0 {
+		heap.Push(pq, distItem{dist: 0, id: t.root, level: 0})
+	} else {
+		heap.Push(pq, distItem{dist: 0, id: t.root, level: t.rootLevel})
+	}
+
+	var best nbrHeap // max-heap of current k best
+	worst := func() float64 {
+		if best.Len() < k {
+			return math.Inf(1)
+		}
+		return best[0].Dist
+	}
+
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.dist > worst() {
+			break // nothing left can improve the result set
+		}
+		if it.level == 0 {
+			dp, err := t.fetchData(it.id)
+			if err != nil {
+				return nil, err
+			}
+			for _, item := range dp.Items {
+				d := pointDist(p, item.Point)
+				if d < worst() || best.Len() < k {
+					heap.Push(&best, Neighbor{Point: item.Point, Payload: item.Payload, Dist: d})
+					if best.Len() > k {
+						heap.Pop(&best)
+					}
+				}
+			}
+			continue
+		}
+		n, err := t.fetchIndex(it.id)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range n.Entries {
+			brick := region.Brick(e.Key, t.opt.Dims)
+			d := minDistToRect(p, brick)
+			if d <= worst() {
+				heap.Push(pq, distItem{dist: d, id: e.Child, level: e.Level})
+			}
+		}
+	}
+
+	out := make([]Neighbor, best.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&best).(Neighbor)
+	}
+	return out, nil
+}
+
+// pointDist is the Euclidean distance between two points in coordinate
+// units (computed in float64; exact enough for ranking at domain scale).
+func pointDist(a, b geometry.Point) float64 {
+	s := 0.0
+	for d := range a {
+		var diff float64
+		if a[d] > b[d] {
+			diff = float64(a[d] - b[d])
+		} else {
+			diff = float64(b[d] - a[d])
+		}
+		s += diff * diff
+	}
+	return math.Sqrt(s)
+}
+
+// minDistToRect is the minimum distance from p to any point of r.
+func minDistToRect(p geometry.Point, r geometry.Rect) float64 {
+	s := 0.0
+	for d := range p {
+		var diff float64
+		switch {
+		case p[d] < r.Min[d]:
+			diff = float64(r.Min[d] - p[d])
+		case p[d] > r.Max[d]:
+			diff = float64(p[d] - r.Max[d])
+		}
+		s += diff * diff
+	}
+	return math.Sqrt(s)
+}
+
+type distItem struct {
+	dist  float64
+	id    page.ID
+	level int
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// nbrHeap is a max-heap by distance (the current k best candidates).
+type nbrHeap []Neighbor
+
+func (h nbrHeap) Len() int            { return len(h) }
+func (h nbrHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h nbrHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nbrHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *nbrHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

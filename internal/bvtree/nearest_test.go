@@ -1,0 +1,87 @@
+package bvtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"bvtree/internal/geometry"
+)
+
+func TestNearestAgainstBruteForce(t *testing.T) {
+	for _, gen := range []struct {
+		name string
+		fn   func(*rand.Rand, int) geometry.Point
+	}{{"uniform", randPoint}, {"clustered", clusteredPoint}} {
+		t.Run(gen.name, func(t *testing.T) {
+			tr, err := New(Options{Dims: 2, DataCapacity: 8, Fanout: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(61))
+			pts := make([]geometry.Point, 4000)
+			for i := range pts {
+				pts[i] = gen.fn(rng, 2)
+				if err := tr.Insert(pts[i], uint64(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for trial := 0; trial < 25; trial++ {
+				q := gen.fn(rng, 2)
+				k := 1 + rng.Intn(10)
+				got, err := tr.Nearest(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Brute force.
+				dists := make([]float64, len(pts))
+				for i, p := range pts {
+					dists[i] = pointDist(q, p)
+				}
+				sort.Float64s(dists)
+				if len(got) != k {
+					t.Fatalf("got %d results, want %d", len(got), k)
+				}
+				for i, nb := range got {
+					if i > 0 && got[i-1].Dist > nb.Dist {
+						t.Fatal("results not sorted by distance")
+					}
+					// Compare distances (points may tie).
+					if absf(nb.Dist-dists[i]) > 1e-3*(1+dists[i]) {
+						t.Fatalf("trial %d: k=%d result %d dist %g, brute force %g",
+							trial, k, i, nb.Dist, dists[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestNearestEdgeCases(t *testing.T) {
+	tr, _ := New(Options{Dims: 2})
+	if got, err := tr.Nearest(geometry.Point{1, 1}, 5); err != nil || len(got) != 0 {
+		t.Fatalf("empty tree: %v %v", got, err)
+	}
+	_ = tr.Insert(geometry.Point{10, 10}, 1)
+	_ = tr.Insert(geometry.Point{20, 20}, 2)
+	got, err := tr.Nearest(geometry.Point{11, 11}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Payload != 1 || got[1].Payload != 2 {
+		t.Fatalf("results: %+v", got)
+	}
+	if got, _ := tr.Nearest(geometry.Point{0, 0}, 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	if _, err := tr.Nearest(geometry.Point{1}, 1); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,190 @@
+package bvtree
+
+import (
+	"fmt"
+
+	"bvtree/internal/page"
+	"bvtree/internal/region"
+	"bvtree/internal/storage"
+)
+
+// NodeStore supplies decoded nodes to the tree. Implementations return
+// live node pointers: the tree mutates them in place and calls SaveIndex /
+// SaveData to persist the mutation. The tree serialises its own operations,
+// so implementations need not be safe for concurrent use.
+type NodeStore interface {
+	AllocIndex(level int, reg region.BitString) (page.ID, *page.IndexNode, error)
+	AllocData(reg region.BitString) (page.ID, *page.DataPage, error)
+	Index(id page.ID) (*page.IndexNode, error)
+	Data(id page.ID) (*page.DataPage, error)
+	SaveIndex(id page.ID, n *page.IndexNode) error
+	SaveData(id page.ID, p *page.DataPage) error
+	Free(id page.ID) error
+}
+
+// memNodes keeps decoded nodes in memory; saves are no-ops. It is the
+// store used for algorithmic experiments, where only logical node accesses
+// matter.
+type memNodes struct {
+	nodes map[page.ID]interface{}
+	next  page.ID
+}
+
+func newMemNodes() *memNodes {
+	return &memNodes{nodes: make(map[page.ID]interface{}), next: 1}
+}
+
+func (m *memNodes) AllocIndex(level int, reg region.BitString) (page.ID, *page.IndexNode, error) {
+	id := m.next
+	m.next++
+	n := &page.IndexNode{Level: level, Region: reg}
+	m.nodes[id] = n
+	return id, n, nil
+}
+
+func (m *memNodes) AllocData(reg region.BitString) (page.ID, *page.DataPage, error) {
+	id := m.next
+	m.next++
+	p := &page.DataPage{Region: reg}
+	m.nodes[id] = p
+	return id, p, nil
+}
+
+func (m *memNodes) Index(id page.ID) (*page.IndexNode, error) {
+	n, ok := m.nodes[id].(*page.IndexNode)
+	if !ok {
+		return nil, fmt.Errorf("bvtree: page %d is not an index node", id)
+	}
+	return n, nil
+}
+
+func (m *memNodes) Data(id page.ID) (*page.DataPage, error) {
+	p, ok := m.nodes[id].(*page.DataPage)
+	if !ok {
+		return nil, fmt.Errorf("bvtree: page %d is not a data page", id)
+	}
+	return p, nil
+}
+
+func (m *memNodes) SaveIndex(id page.ID, n *page.IndexNode) error {
+	m.nodes[id] = n
+	return nil
+}
+
+func (m *memNodes) SaveData(id page.ID, p *page.DataPage) error {
+	m.nodes[id] = p
+	return nil
+}
+
+func (m *memNodes) Free(id page.ID) error {
+	if _, ok := m.nodes[id]; !ok {
+		return fmt.Errorf("bvtree: free of unknown page %d", id)
+	}
+	delete(m.nodes, id)
+	return nil
+}
+
+// pagedNodes adapts a storage.Store: nodes are serialised through
+// package page. Decoded nodes are cached; because every mutation is saved
+// (written through) before the operation returns, cached nodes are always
+// clean and can be evicted freely between operations.
+type pagedNodes struct {
+	st    storage.Store
+	dims  int
+	cache map[page.ID]interface{}
+	cap   int
+}
+
+func newPagedNodes(st storage.Store, dims, cacheNodes int) *pagedNodes {
+	if cacheNodes <= 0 {
+		cacheNodes = 4096
+	}
+	return &pagedNodes{st: st, dims: dims, cache: make(map[page.ID]interface{}), cap: cacheNodes}
+}
+
+// evictIfNeeded trims the decoded cache. Called between tree operations
+// (never mid-operation, so live pointers stay unique).
+func (s *pagedNodes) evictIfNeeded() {
+	if len(s.cache) <= s.cap {
+		return
+	}
+	drop := len(s.cache) - s.cap/2
+	for id := range s.cache {
+		if drop == 0 {
+			break
+		}
+		delete(s.cache, id)
+		drop--
+	}
+}
+
+func (s *pagedNodes) AllocIndex(level int, reg region.BitString) (page.ID, *page.IndexNode, error) {
+	id, err := s.st.Alloc()
+	if err != nil {
+		return 0, nil, err
+	}
+	n := &page.IndexNode{Level: level, Region: reg}
+	if err := s.SaveIndex(id, n); err != nil {
+		return 0, nil, err
+	}
+	return id, n, nil
+}
+
+func (s *pagedNodes) AllocData(reg region.BitString) (page.ID, *page.DataPage, error) {
+	id, err := s.st.Alloc()
+	if err != nil {
+		return 0, nil, err
+	}
+	p := &page.DataPage{Region: reg}
+	if err := s.SaveData(id, p); err != nil {
+		return 0, nil, err
+	}
+	return id, p, nil
+}
+
+func (s *pagedNodes) Index(id page.ID) (*page.IndexNode, error) {
+	if n, ok := s.cache[id].(*page.IndexNode); ok {
+		return n, nil
+	}
+	blob, err := s.st.ReadNode(id)
+	if err != nil {
+		return nil, err
+	}
+	n, err := page.DecodeIndex(blob)
+	if err != nil {
+		return nil, fmt.Errorf("bvtree: decode index page %d: %w", id, err)
+	}
+	s.cache[id] = n
+	return n, nil
+}
+
+func (s *pagedNodes) Data(id page.ID) (*page.DataPage, error) {
+	if p, ok := s.cache[id].(*page.DataPage); ok {
+		return p, nil
+	}
+	blob, err := s.st.ReadNode(id)
+	if err != nil {
+		return nil, err
+	}
+	p, _, err := page.DecodeData(blob)
+	if err != nil {
+		return nil, fmt.Errorf("bvtree: decode data page %d: %w", id, err)
+	}
+	s.cache[id] = p
+	return p, nil
+}
+
+func (s *pagedNodes) SaveIndex(id page.ID, n *page.IndexNode) error {
+	s.cache[id] = n
+	return s.st.WriteNode(id, page.EncodeIndex(n))
+}
+
+func (s *pagedNodes) SaveData(id page.ID, p *page.DataPage) error {
+	s.cache[id] = p
+	return s.st.WriteNode(id, page.EncodeData(p, s.dims))
+}
+
+func (s *pagedNodes) Free(id page.ID) error {
+	delete(s.cache, id)
+	return s.st.Free(id)
+}

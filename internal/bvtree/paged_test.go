@@ -1,0 +1,149 @@
+package bvtree
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"bvtree/internal/geometry"
+	"bvtree/internal/storage"
+)
+
+func TestPagedTreeMemStore(t *testing.T) {
+	st := storage.NewMemStore()
+	tr, err := NewPaged(st, Options{Dims: 2, DataCapacity: 8, Fanout: 8, CacheNodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geometry.Point, 3000)
+	for i := range pts {
+		pts[i] = randPoint(rng, 2)
+		if err := tr.Insert(pts[i], uint64(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := tr.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts[:200] {
+		got, err := tr.Lookup(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, v := range got {
+			if v == uint64(i) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("point %d missing from paged tree", i)
+		}
+	}
+}
+
+func TestPagedTreePersistenceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tree.db")
+	st, err := storage.CreateFileStore(path, storage.FileStoreOptions{SlotSize: 512, PoolSlots: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewPaged(st, Options{Dims: 3, DataCapacity: 10, Fanout: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]geometry.Point, 2000)
+	for i := range pts {
+		pts[i] = clusteredPoint(rng, 3)
+		if err := tr.Insert(pts[i], uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantHeight := tr.Height()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := storage.OpenFileStore(path, storage.FileStoreOptions{PoolSlots: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	re, err := OpenPaged(st2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != len(pts) || re.Height() != wantHeight {
+		t.Fatalf("reopened: len=%d height=%d, want %d/%d", re.Len(), re.Height(), len(pts), wantHeight)
+	}
+	if err := re.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		got, err := re.Lookup(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, v := range got {
+			if v == uint64(i) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("point %d missing after reopen", i)
+		}
+	}
+	// The reopened tree must accept further writes.
+	extra := randPoint(rng, 3)
+	if err := re.Insert(extra, 999999); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := re.Contains(extra); !ok {
+		t.Fatal("insert after reopen not visible")
+	}
+}
+
+func TestNewPagedRejectsUsedStore(t *testing.T) {
+	st := storage.NewMemStore()
+	if _, err := st.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPaged(st, Options{Dims: 2}); err == nil {
+		t.Fatal("NewPaged accepted a non-fresh store")
+	}
+}
+
+func TestOpenPagedRejectsGarbageMeta(t *testing.T) {
+	st := storage.NewMemStore()
+	id, _ := st.Alloc()
+	_ = st.WriteNode(id, []byte("definitely not a meta page"))
+	if _, err := OpenPaged(st, 0); err == nil {
+		t.Fatal("OpenPaged accepted garbage metadata")
+	}
+}
+
+func TestPagedCacheEviction(t *testing.T) {
+	st := storage.NewMemStore()
+	tr, err := NewPaged(st, Options{Dims: 2, DataCapacity: 6, Fanout: 5, CacheNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		if err := tr.Insert(randPoint(rng, 2), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(tr.paged.cache) > 2000 {
+		t.Fatalf("decoded cache grew unbounded: %d", len(tr.paged.cache))
+	}
+	if err := tr.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+}

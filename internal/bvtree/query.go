@@ -1,0 +1,107 @@
+package bvtree
+
+import (
+	"fmt"
+
+	"bvtree/internal/geometry"
+	"bvtree/internal/page"
+	"bvtree/internal/region"
+)
+
+// Visitor receives matching items during a query. Returning false stops
+// the traversal early.
+type Visitor func(p geometry.Point, payload uint64) bool
+
+// RangeQuery invokes visit for every stored item inside rect (boundaries
+// inclusive). Traversal order is unspecified.
+//
+// Range search needs no guard-set bookkeeping: every entry — promoted or
+// not — whose brick intersects the query rectangle is visited, and since
+// each page is pointed to by exactly one entry, no page is scanned twice.
+// A region's points are a subset of its brick, so brick intersection is a
+// sound and complete pruning test.
+func (t *Tree) RangeQuery(rect geometry.Rect, visit Visitor) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	defer t.endOp()
+	if rect.Dims() != t.opt.Dims {
+		return fmt.Errorf("bvtree: query rect has %d dims, tree has %d", rect.Dims(), t.opt.Dims)
+	}
+	if t.rootLevel == 0 {
+		_, err := t.scanData(t.root, rect, visit)
+		return err
+	}
+	_, err := t.rangeNode(t.root, rect, visit)
+	return err
+}
+
+func (t *Tree) rangeNode(id page.ID, rect geometry.Rect, visit Visitor) (bool, error) {
+	n, err := t.fetchIndex(id)
+	if err != nil {
+		return false, err
+	}
+	// Copy the entry list: visiting children may evict/replace the node in
+	// a paged store between fetches.
+	entries := make([]page.Entry, len(n.Entries))
+	copy(entries, n.Entries)
+	for _, e := range entries {
+		if !rect.Intersects(region.Brick(e.Key, t.opt.Dims)) {
+			continue
+		}
+		var cont bool
+		if e.Level == 0 {
+			cont, err = t.scanData(e.Child, rect, visit)
+		} else {
+			cont, err = t.rangeNode(e.Child, rect, visit)
+		}
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+func (t *Tree) scanData(id page.ID, rect geometry.Rect, visit Visitor) (bool, error) {
+	dp, err := t.fetchData(id)
+	if err != nil {
+		return false, err
+	}
+	for _, it := range dp.Items {
+		if rect.Contains(it.Point) {
+			if !visit(it.Point, it.Payload) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// PartialMatch answers a partial-match query: values[i] constrains
+// dimension i exactly when specified[i] is true; unconstrained dimensions
+// range over the whole domain. This is the m-of-n attribute query the
+// paper's introduction motivates; symmetry of the index means its cost
+// depends only on how many dimensions are specified, not which.
+func (t *Tree) PartialMatch(values geometry.Point, specified []bool, visit Visitor) error {
+	if len(values) != t.opt.Dims || len(specified) != t.opt.Dims {
+		return fmt.Errorf("bvtree: partial-match query shape mismatch (dims %d)", t.opt.Dims)
+	}
+	rect := geometry.UniverseRect(t.opt.Dims)
+	for i := range values {
+		if specified[i] {
+			rect.Min[i], rect.Max[i] = values[i], values[i]
+		}
+	}
+	return t.RangeQuery(rect, visit)
+}
+
+// Scan invokes visit for every stored item.
+func (t *Tree) Scan(visit Visitor) error {
+	return t.RangeQuery(geometry.UniverseRect(t.opt.Dims), visit)
+}
+
+// Count returns the number of items inside rect.
+func (t *Tree) Count(rect geometry.Rect) (int, error) {
+	n := 0
+	err := t.RangeQuery(rect, func(geometry.Point, uint64) bool { n++; return true })
+	return n, err
+}

@@ -1,0 +1,176 @@
+package bvtree
+
+import (
+	"fmt"
+
+	"bvtree/internal/geometry"
+	"bvtree/internal/page"
+	"bvtree/internal/region"
+)
+
+// guardRef is a guard-set member: a promoted entry collected on the way
+// down, together with its physical location (stable for the duration of
+// one operation).
+type guardRef struct {
+	entry  page.Entry
+	srcID  page.ID
+	srcIdx int
+}
+
+// pathStep records one index node visited by a descent.
+type pathStep struct {
+	id   page.ID
+	node *page.IndexNode
+	// followed is the index of the entry taken within node.Entries, or -1
+	// when the descent followed a guard-set member collected higher up.
+	followed int
+}
+
+// descent is the result of an exact-match descent (§3 of the paper).
+type descent struct {
+	steps []pathStep
+	// guardSrc[i] is the node where the guard followed at step i was
+	// collected, or page.Nil when step i followed an unpromoted entry.
+	guardSrc []page.ID
+	dataID   page.ID
+	// dataSrcID/dataSrcIdx locate the level-0 entry that won the final
+	// comparison — the node it physically resides in, which is where a
+	// subsequent split of the data page posts its new sibling entry.
+	dataSrcID  page.ID
+	dataSrcIdx int
+	// maxGuardSet is the largest guard-set size observed (paper bound:
+	// at most x-1 members at index level x).
+	maxGuardSet int
+}
+
+// descendPoint runs the exact-match search for a full point address. The
+// correspondence between the partition hierarchy and the index hierarchy
+// is reconstituted on the way down: matching guards are merged into a
+// per-level guard set (keeping the better match per level), and at index
+// level x the search follows whichever of the best unpromoted entry and
+// the guard-set member of level x-1 matches the target better.
+func (t *Tree) descendPoint(target region.BitString) (*descent, error) {
+	d := &descent{}
+	if t.rootLevel == 0 {
+		d.dataID = t.root
+		d.dataSrcID = page.Nil
+		d.dataSrcIdx = -1
+		return d, nil
+	}
+	guards := make([]*guardRef, t.rootLevel) // index = partition level
+	cur := t.root
+	for level := t.rootLevel; level >= 1; level-- {
+		n, err := t.fetchIndex(cur)
+		if err != nil {
+			return nil, err
+		}
+		if n.Level != level {
+			return nil, fmt.Errorf("bvtree: node %d has index level %d, expected %d", cur, n.Level, level)
+		}
+		// Merge matching guards of this node into the guard set.
+		live := 0
+		for i := range n.Entries {
+			e := &n.Entries[i]
+			if e.Level < level-1 && e.Key.IsPrefixOf(target) {
+				g := guards[e.Level]
+				if g == nil || e.Key.Len() > g.entry.Key.Len() {
+					guards[e.Level] = &guardRef{entry: *e, srcID: cur, srcIdx: i}
+				}
+			}
+		}
+		for _, g := range guards {
+			if g != nil {
+				live++
+			}
+		}
+		if live > d.maxGuardSet {
+			d.maxGuardSet = live
+		}
+		// Best unpromoted match at this node.
+		bestIdx, bestLen := -1, -1
+		for i := range n.Entries {
+			e := &n.Entries[i]
+			if e.Level == level-1 && e.Key.Len() > bestLen && e.Key.IsPrefixOf(target) {
+				bestIdx, bestLen = i, e.Key.Len()
+			}
+		}
+		g := guards[level-1]
+		guards[level-1] = nil // consumed at this level either way
+		var next page.ID
+		switch {
+		case g != nil && g.entry.Key.Len() > bestLen:
+			next = g.entry.Child
+			d.steps = append(d.steps, pathStep{id: cur, node: n, followed: -1})
+			d.guardSrc = append(d.guardSrc, g.srcID)
+			if level == 1 {
+				d.dataID = next
+				d.dataSrcID, d.dataSrcIdx = g.srcID, g.srcIdx
+				return d, nil
+			}
+		case bestIdx >= 0:
+			next = n.Entries[bestIdx].Child
+			d.steps = append(d.steps, pathStep{id: cur, node: n, followed: bestIdx})
+			d.guardSrc = append(d.guardSrc, page.Nil)
+			if level == 1 {
+				d.dataID = next
+				d.dataSrcID, d.dataSrcIdx = cur, bestIdx
+				return d, nil
+			}
+		default:
+			return nil, fmt.Errorf("bvtree: no entry matches %v at node %d (index level %d)", target, cur, level)
+		}
+		cur = next
+	}
+	return d, nil
+}
+
+// Lookup returns the payloads of all stored items at exactly point p.
+func (t *Tree) Lookup(p geometry.Point) ([]uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	defer t.endOp()
+	key, err := t.addr(p)
+	if err != nil {
+		return nil, err
+	}
+	d, err := t.descendPoint(key)
+	if err != nil {
+		return nil, err
+	}
+	dp, err := t.fetchData(d.dataID)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, it := range dp.Items {
+		if it.Point.Equal(p) {
+			out = append(out, it.Payload)
+		}
+	}
+	return out, nil
+}
+
+// Contains reports whether any item is stored at point p.
+func (t *Tree) Contains(p geometry.Point) (bool, error) {
+	payloads, err := t.Lookup(p)
+	return len(payloads) > 0, err
+}
+
+// SearchCost runs an exact-match descent for p and reports the number of
+// nodes visited (index nodes plus the final data page) and the maximum
+// guard-set size encountered. It is a measurement helper for the
+// experiments of §6/§7.
+func (t *Tree) SearchCost(p geometry.Point) (nodes int, maxGuardSet int, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	defer t.endOp()
+	key, err := t.addr(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	d, err := t.descendPoint(key)
+	if err != nil {
+		return 0, 0, err
+	}
+	return len(d.steps) + 1, d.maxGuardSet, nil
+}

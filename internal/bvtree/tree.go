@@ -1,0 +1,301 @@
+// Package bvtree implements the BV-tree of M. Freeston, "A General
+// Solution of the n-dimensional B-tree Problem" (SIGMOD 1995): an
+// n-dimensional index with guaranteed minimum node occupancy of one third
+// and logarithmic exact-match search and update cost.
+//
+// The data space is partitioned by the regular binary partitioning of
+// package region. The index tree over this partition hierarchy is
+// deliberately unbalanced: when a directory split boundary would cut
+// through an existing region, that region's entry is promoted to the
+// parent node as a guard instead of being split, and the exact-match
+// search carries a per-level guard set down the tree so that every search
+// path still has exactly one node per partition level. This creates "the
+// effect of splitting a region without actually splitting it" and is what
+// removes the cascade-splitting behaviour of the K-D-B tree and the
+// spanning-set problem of the BANG file.
+package bvtree
+
+import (
+	"fmt"
+	"sync"
+
+	"bvtree/internal/geometry"
+	"bvtree/internal/page"
+	"bvtree/internal/region"
+	"bvtree/internal/storage"
+	"bvtree/internal/zorder"
+)
+
+// Options configures a Tree.
+type Options struct {
+	// Dims is the dimensionality of the indexed points. Required.
+	Dims int
+	// DataCapacity is P: the maximum number of items per data page
+	// (default 32).
+	DataCapacity int
+	// Fanout is F: the maximum number of entries per index node
+	// (default 16). With LevelScaledPages a node at index level x holds
+	// Fanout*x entries instead (§7.3 of the paper).
+	Fanout int
+	// LevelScaledPages enables the multiple-page-size scheme of §7.3,
+	// which removes the worst-case height penalty of promoted subtrees.
+	LevelScaledPages bool
+	// BitsPerDim is the per-dimension address precision (default 64).
+	BitsPerDim int
+	// CacheNodes bounds the decoded-node cache of a paged tree
+	// (default 4096); ignored by in-memory trees.
+	CacheNodes int
+}
+
+func (o *Options) fill() error {
+	if o.Dims < 1 || o.Dims > geometry.MaxDims {
+		return fmt.Errorf("bvtree: Dims %d out of range 1..%d", o.Dims, geometry.MaxDims)
+	}
+	if o.DataCapacity == 0 {
+		o.DataCapacity = 32
+	}
+	if o.DataCapacity < 4 {
+		return fmt.Errorf("bvtree: DataCapacity %d below minimum 4", o.DataCapacity)
+	}
+	if o.Fanout == 0 {
+		o.Fanout = 16
+	}
+	if o.Fanout < 4 {
+		return fmt.Errorf("bvtree: Fanout %d below minimum 4", o.Fanout)
+	}
+	if o.BitsPerDim == 0 {
+		o.BitsPerDim = 64
+	}
+	if o.BitsPerDim < 1 || o.BitsPerDim > 64 {
+		return fmt.Errorf("bvtree: BitsPerDim %d out of range 1..64", o.BitsPerDim)
+	}
+	return nil
+}
+
+// OpStats accumulates structural event counters over the life of a tree.
+type OpStats struct {
+	// NodeAccesses counts logical node fetches (index nodes + data pages).
+	NodeAccesses uint64
+	// DataSplits and IndexSplits count page splits by kind.
+	DataSplits  uint64
+	IndexSplits uint64
+	// Promotions counts entries promoted to a parent as guards during
+	// index splits; Demotions counts guards moved back down.
+	Promotions uint64
+	Demotions  uint64
+	// Merges counts data page merges triggered by underflow; Resplits
+	// counts merges whose result overflowed and split again
+	// (redistribution); MergeDeferrals counts underflows left unresolved
+	// because no same-node merge partner existed.
+	Merges         uint64
+	Resplits       uint64
+	MergeDeferrals uint64
+	// SoftOverflows counts nodes temporarily exceeding capacity because
+	// no balanced split existed (pathological duplicate-heavy data).
+	SoftOverflows uint64
+	// RootGrowths counts increments of the index height.
+	RootGrowths uint64
+}
+
+// Tree is a BV-tree. All methods are safe for concurrent use; operations
+// are serialised internally.
+type Tree struct {
+	mu  sync.Mutex
+	st  NodeStore
+	opt Options
+	il  *zorder.Interleaver
+
+	root      page.ID
+	rootLevel int // index level of the root; 0 while the root is a data page
+	size      int
+
+	stats OpStats
+	paged *pagedNodes // non-nil when backed by a storage.Store
+	bst   storage.Store
+}
+
+// New returns an in-memory BV-tree.
+func New(opt Options) (*Tree, error) {
+	if err := opt.fill(); err != nil {
+		return nil, err
+	}
+	return newTree(newMemNodes(), nil, nil, opt)
+}
+
+// metaPageID is the fixed page holding a paged tree's root record: the
+// first page allocated from a fresh store. A store is dedicated to one
+// tree.
+const metaPageID page.ID = 1
+
+// NewPaged returns a BV-tree whose nodes are serialised into st. The
+// store must be freshly created; the tree takes ownership of node
+// allocation within it but does not close it. Call Flush to persist the
+// root record before closing the store; OpenPaged reopens the tree.
+func NewPaged(st storage.Store, opt Options) (*Tree, error) {
+	if err := opt.fill(); err != nil {
+		return nil, err
+	}
+	metaID, err := st.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	if metaID != metaPageID {
+		return nil, fmt.Errorf("bvtree: store is not fresh (first page is %d)", metaID)
+	}
+	pn := newPagedNodes(st, opt.Dims, opt.CacheNodes)
+	t, err := newTree(pn, pn, st, opt)
+	if err != nil {
+		return nil, err
+	}
+	return t, t.Flush()
+}
+
+// OpenPaged reopens a tree previously created with NewPaged and persisted
+// with Flush. CacheNodes in opt is honoured; all other fields are read
+// from the store.
+func OpenPaged(st storage.Store, cacheNodes int) (*Tree, error) {
+	blob, err := st.ReadNode(metaPageID)
+	if err != nil {
+		return nil, fmt.Errorf("bvtree: read tree metadata: %w", err)
+	}
+	m, err := page.DecodeMeta(blob)
+	if err != nil {
+		return nil, fmt.Errorf("bvtree: decode tree metadata: %w", err)
+	}
+	opt := Options{
+		Dims:             m.Dims,
+		DataCapacity:     m.DataCapacity,
+		Fanout:           m.Fanout,
+		BitsPerDim:       m.BitsPerDim,
+		LevelScaledPages: m.LevelScaled,
+		CacheNodes:       cacheNodes,
+	}
+	if err := opt.fill(); err != nil {
+		return nil, err
+	}
+	il, err := zorder.NewInterleaver(opt.Dims, opt.BitsPerDim)
+	if err != nil {
+		return nil, err
+	}
+	pn := newPagedNodes(st, opt.Dims, opt.CacheNodes)
+	return &Tree{
+		st:        pn,
+		opt:       opt,
+		il:        il,
+		paged:     pn,
+		bst:       st,
+		root:      m.Root,
+		rootLevel: m.RootLevel,
+		size:      int(m.Size),
+	}, nil
+}
+
+// Flush persists the tree's root record and syncs the backing store. It
+// is a no-op for in-memory trees. The tree is only reopenable from state
+// captured by the last Flush.
+func (t *Tree) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.bst == nil {
+		return nil
+	}
+	m := &page.Meta{
+		Dims:         t.opt.Dims,
+		DataCapacity: t.opt.DataCapacity,
+		Fanout:       t.opt.Fanout,
+		BitsPerDim:   t.opt.BitsPerDim,
+		LevelScaled:  t.opt.LevelScaledPages,
+		Root:         t.root,
+		RootLevel:    t.rootLevel,
+		Size:         uint64(t.size),
+	}
+	if err := t.bst.WriteNode(metaPageID, page.EncodeMeta(m)); err != nil {
+		return err
+	}
+	return t.bst.Sync()
+}
+
+func newTree(ns NodeStore, pn *pagedNodes, bst storage.Store, opt Options) (*Tree, error) {
+	il, err := zorder.NewInterleaver(opt.Dims, opt.BitsPerDim)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{st: ns, opt: opt, il: il, paged: pn, bst: bst}
+	id, _, err := ns.AllocData(region.BitString{})
+	if err != nil {
+		return nil, err
+	}
+	t.root = id
+	t.rootLevel = 0
+	return t, nil
+}
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.size
+}
+
+// Height returns the index height h: the number of index levels above the
+// data pages (0 while the root is still a data page). Every exact-match
+// search visits exactly h+1 nodes.
+func (t *Tree) Height() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rootLevel
+}
+
+// Options returns the tree's effective configuration.
+func (t *Tree) Options() Options { return t.opt }
+
+// Stats returns a snapshot of the structural event counters.
+func (t *Tree) Stats() OpStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// ResetAccessCount zeroes the NodeAccesses counter (the other counters are
+// monotone by design) and returns the previous value.
+func (t *Tree) ResetAccessCount() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := t.stats.NodeAccesses
+	t.stats.NodeAccesses = 0
+	return v
+}
+
+// capacity returns the entry capacity of an index node at index level x.
+func (t *Tree) capacity(x int) int {
+	if t.opt.LevelScaledPages {
+		return t.opt.Fanout * x
+	}
+	return t.opt.Fanout
+}
+
+// addr computes the partition address of a point.
+func (t *Tree) addr(p geometry.Point) (region.BitString, error) {
+	a, err := t.il.Interleave(p)
+	if err != nil {
+		return region.BitString{}, err
+	}
+	return region.FromAddress(a), nil
+}
+
+func (t *Tree) fetchIndex(id page.ID) (*page.IndexNode, error) {
+	t.stats.NodeAccesses++
+	return t.st.Index(id)
+}
+
+func (t *Tree) fetchData(id page.ID) (*page.DataPage, error) {
+	t.stats.NodeAccesses++
+	return t.st.Data(id)
+}
+
+// endOp performs between-operation housekeeping.
+func (t *Tree) endOp() {
+	if t.paged != nil {
+		t.paged.evictIfNeeded()
+	}
+}

@@ -1,0 +1,475 @@
+// Package kdbtree implements Robinson's K-D-B tree [Rob81], the paper's
+// Figure 1-1/1-2 example of a recursive-partitioning index with
+// unpredictable worst-case behaviour: splitting a directory page about a
+// plane must also split every child region the plane intersects, and the
+// forced splits cascade down to the data pages. The package counts those
+// cascades and the resulting occupancy collapse so the experiments can
+// contrast them with the BV-tree's guarantees.
+package kdbtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bvtree/internal/geometry"
+)
+
+// Stats counts structural events over the life of a tree.
+type Stats struct {
+	DataSplits   uint64
+	IndexSplits  uint64
+	ForcedSplits uint64 // splits forced by a plane cutting a child region
+	// MaxForcedPerInsert is the largest number of forced splits caused by
+	// a single insertion — the unpredictability the paper criticises.
+	MaxForcedPerInsert uint64
+	NodeAccesses       uint64
+	EmptyPages         uint64 // data pages left empty by forced splits
+}
+
+// Tree is a K-D-B tree over n-dimensional points.
+type Tree struct {
+	dims    int
+	dataCap int
+	fanout  int
+	root    *node
+	height  int
+	size    int
+	stats   Stats
+}
+
+type node struct {
+	leaf    bool
+	region  geometry.Rect
+	items   []item     // leaf
+	entries []childRef // interior
+}
+
+type item struct {
+	point   geometry.Point
+	payload uint64
+}
+
+type childRef struct {
+	region geometry.Rect
+	child  *node
+}
+
+// Options configures a Tree.
+type Options struct {
+	Dims         int
+	DataCapacity int // default 32
+	Fanout       int // default 16
+}
+
+// New returns an empty K-D-B tree.
+func New(opt Options) (*Tree, error) {
+	if opt.Dims < 1 || opt.Dims > geometry.MaxDims {
+		return nil, fmt.Errorf("kdbtree: dims %d out of range", opt.Dims)
+	}
+	if opt.DataCapacity == 0 {
+		opt.DataCapacity = 32
+	}
+	if opt.Fanout == 0 {
+		opt.Fanout = 16
+	}
+	if opt.DataCapacity < 2 || opt.Fanout < 2 {
+		return nil, fmt.Errorf("kdbtree: capacities too small")
+	}
+	u := geometry.UniverseRect(opt.Dims)
+	return &Tree{
+		dims:    opt.Dims,
+		dataCap: opt.DataCapacity,
+		fanout:  opt.Fanout,
+		root:    &node{leaf: true, region: u},
+	}, nil
+}
+
+// Len returns the number of stored points.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of directory levels above the data pages.
+func (t *Tree) Height() int { return t.height }
+
+// Stats returns the event counters.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// ResetAccesses zeroes the access counter and returns the prior value.
+func (t *Tree) ResetAccesses() uint64 {
+	v := t.stats.NodeAccesses
+	t.stats.NodeAccesses = 0
+	return v
+}
+
+// Insert stores (p, payload).
+func (t *Tree) Insert(p geometry.Point, payload uint64) error {
+	if len(p) != t.dims {
+		return fmt.Errorf("kdbtree: point has %d dims, tree has %d", len(p), t.dims)
+	}
+	forcedBefore := t.stats.ForcedSplits
+	n := t.root
+	var path []*node
+	for !n.leaf {
+		t.stats.NodeAccesses++
+		path = append(path, n)
+		ci := -1
+		for i := range n.entries {
+			if n.entries[i].region.Contains(p) {
+				ci = i
+				break
+			}
+		}
+		if ci < 0 {
+			return fmt.Errorf("kdbtree: no child region contains %v", p)
+		}
+		n = n.entries[ci].child
+	}
+	t.stats.NodeAccesses++
+	n.items = append(n.items, item{point: p.Clone(), payload: payload})
+	t.size++
+
+	// Resolve overflow bottom-up.
+	cur := n
+	for len(path) >= 0 {
+		var over bool
+		if cur.leaf {
+			over = len(cur.items) > t.dataCap
+		} else {
+			over = len(cur.entries) > t.fanout
+		}
+		if !over {
+			break
+		}
+		left, right, ok := t.splitNode(cur)
+		if !ok {
+			break // duplicates: tolerate oversized page
+		}
+		if len(path) == 0 {
+			// Grow a new root.
+			t.root = &node{
+				leaf:   false,
+				region: cur.region,
+				entries: []childRef{
+					{region: left.region, child: left},
+					{region: right.region, child: right},
+				},
+			}
+			t.height++
+			break
+		}
+		parent := path[len(path)-1]
+		path = path[:len(path)-1]
+		for i := range parent.entries {
+			if parent.entries[i].child == cur {
+				parent.entries[i] = childRef{region: left.region, child: left}
+				parent.entries = append(parent.entries, childRef{})
+				copy(parent.entries[i+2:], parent.entries[i+1:])
+				parent.entries[i+1] = childRef{region: right.region, child: right}
+				break
+			}
+		}
+		cur = parent
+	}
+	if f := t.stats.ForcedSplits - forcedBefore; f > t.stats.MaxForcedPerInsert {
+		t.stats.MaxForcedPerInsert = f
+	}
+	return nil
+}
+
+// splitNode splits n about a chosen plane, forcing child splits where the
+// plane intersects them. Returns ok=false when no separating plane exists.
+func (t *Tree) splitNode(n *node) (left, right *node, ok bool) {
+	dim, val, ok := t.choosePlane(n)
+	if !ok {
+		return nil, nil, false
+	}
+	if n.leaf {
+		t.stats.DataSplits++
+	} else {
+		t.stats.IndexSplits++
+	}
+	l, r := t.splitAt(n, dim, val, true)
+	return l, r, true
+}
+
+// choosePlane picks the split plane: for leaves the median coordinate of
+// the widest-spread dimension; for interior nodes the median of child
+// region boundaries along the dimension with the most distinct boundaries.
+func (t *Tree) choosePlane(n *node) (int, uint64, bool) {
+	if n.leaf {
+		bestDim, ok := -1, false
+		var bestSpread uint64
+		for d := 0; d < t.dims; d++ {
+			lo, hi := n.items[0].point[d], n.items[0].point[d]
+			for _, it := range n.items[1:] {
+				if it.point[d] < lo {
+					lo = it.point[d]
+				}
+				if it.point[d] > hi {
+					hi = it.point[d]
+				}
+			}
+			if hi > lo && (!ok || hi-lo > bestSpread) {
+				bestDim, bestSpread, ok = d, hi-lo, true
+			}
+		}
+		if !ok {
+			return 0, 0, false
+		}
+		vals := make([]uint64, len(n.items))
+		for i, it := range n.items {
+			vals[i] = it.point[bestDim]
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		med := vals[len(vals)/2]
+		if med == vals[0] {
+			// Ensure a non-degenerate plane: points < med go left, so med
+			// must exceed the minimum.
+			for _, v := range vals {
+				if v > med {
+					med = v
+					break
+				}
+			}
+		}
+		return bestDim, med, med > vals[0]
+	}
+	// Interior: collect candidate boundaries per dimension.
+	for d := 0; d < t.dims; d++ {
+		var cands []uint64
+		for _, e := range n.entries {
+			if e.region.Min[d] > n.region.Min[d] {
+				cands = append(cands, e.region.Min[d])
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+		return d, cands[len(cands)/2], true
+	}
+	return 0, 0, false
+}
+
+// splitAt divides n about plane (dim, val): left receives coordinates
+// < val, right receives >= val. Children straddling the plane are split
+// recursively (the forced cascade). top marks the externally requested
+// split; recursive calls count as forced.
+func (t *Tree) splitAt(n *node, dim int, val uint64, top bool) (*node, *node) {
+	if !top {
+		t.stats.ForcedSplits++
+	}
+	lr := n.region.Clone()
+	lr.Max[dim] = val - 1
+	rr := n.region.Clone()
+	rr.Min[dim] = val
+	if n.leaf {
+		left := &node{leaf: true, region: lr}
+		right := &node{leaf: true, region: rr}
+		for _, it := range n.items {
+			if it.point[dim] < val {
+				left.items = append(left.items, it)
+			} else {
+				right.items = append(right.items, it)
+			}
+		}
+		if len(left.items) == 0 {
+			t.stats.EmptyPages++
+		}
+		if len(right.items) == 0 {
+			t.stats.EmptyPages++
+		}
+		return left, right
+	}
+	left := &node{region: lr}
+	right := &node{region: rr}
+	for _, e := range n.entries {
+		switch {
+		case e.region.Max[dim] < val:
+			left.entries = append(left.entries, e)
+		case e.region.Min[dim] >= val:
+			right.entries = append(right.entries, e)
+		default:
+			cl, cr := t.splitAt(e.child, dim, val, false)
+			left.entries = append(left.entries, childRef{region: cl.region, child: cl})
+			right.entries = append(right.entries, childRef{region: cr.region, child: cr})
+		}
+	}
+	return left, right
+}
+
+// Lookup returns payloads stored at exactly p.
+func (t *Tree) Lookup(p geometry.Point) ([]uint64, error) {
+	if len(p) != t.dims {
+		return nil, fmt.Errorf("kdbtree: dim mismatch")
+	}
+	n := t.root
+	for !n.leaf {
+		t.stats.NodeAccesses++
+		next := (*node)(nil)
+		for i := range n.entries {
+			if n.entries[i].region.Contains(p) {
+				next = n.entries[i].child
+				break
+			}
+		}
+		if next == nil {
+			return nil, nil
+		}
+		n = next
+	}
+	t.stats.NodeAccesses++
+	var out []uint64
+	for _, it := range n.items {
+		if it.point.Equal(p) {
+			out = append(out, it.payload)
+		}
+	}
+	return out, nil
+}
+
+// Delete removes one item matching (p, payload). The K-D-B tree has no
+// practical merge procedure — one of the paper's criticisms — so deletion
+// leaves occupancy unrepaired.
+func (t *Tree) Delete(p geometry.Point, payload uint64) (bool, error) {
+	n := t.root
+	for !n.leaf {
+		t.stats.NodeAccesses++
+		next := (*node)(nil)
+		for i := range n.entries {
+			if n.entries[i].region.Contains(p) {
+				next = n.entries[i].child
+				break
+			}
+		}
+		if next == nil {
+			return false, nil
+		}
+		n = next
+	}
+	t.stats.NodeAccesses++
+	for i, it := range n.items {
+		if it.payload == payload && it.point.Equal(p) {
+			n.items = append(n.items[:i], n.items[i+1:]...)
+			t.size--
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// RangeQuery invokes visit for every stored item inside rect.
+func (t *Tree) RangeQuery(rect geometry.Rect, visit func(geometry.Point, uint64) bool) error {
+	if rect.Dims() != t.dims {
+		return fmt.Errorf("kdbtree: rect dim mismatch")
+	}
+	var rec func(n *node) bool
+	rec = func(n *node) bool {
+		t.stats.NodeAccesses++
+		if n.leaf {
+			for _, it := range n.items {
+				if rect.Contains(it.point) {
+					if !visit(it.point, it.payload) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for i := range n.entries {
+			if rect.Intersects(n.entries[i].region) {
+				if !rec(n.entries[i].child) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rec(t.root)
+	return nil
+}
+
+// Count returns the number of items inside rect.
+func (t *Tree) Count(rect geometry.Rect) (int, error) {
+	n := 0
+	err := t.RangeQuery(rect, func(geometry.Point, uint64) bool { n++; return true })
+	return n, err
+}
+
+// OccupancySummary reports data-page occupancy statistics.
+func (t *Tree) OccupancySummary() (pages int, minOcc, avgOcc float64) {
+	var sum float64
+	first := true
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n.leaf {
+			pages++
+			occ := float64(len(n.items)) / float64(t.dataCap)
+			sum += occ
+			if first || occ < minOcc {
+				minOcc = occ
+			}
+			first = false
+			return
+		}
+		for i := range n.entries {
+			rec(n.entries[i].child)
+		}
+	}
+	rec(t.root)
+	if pages > 0 {
+		avgOcc = sum / float64(pages)
+	}
+	return
+}
+
+// Validate checks that child regions partition each interior region and
+// that every item lies inside its page region.
+func (t *Tree) Validate() error {
+	count := 0
+	var rec func(n *node, depth int) error
+	rec = func(n *node, depth int) error {
+		if n.leaf {
+			if depth != t.height {
+				return fmt.Errorf("kdbtree: leaf at depth %d, height %d", depth, t.height)
+			}
+			for _, it := range n.items {
+				if !n.region.Contains(it.point) {
+					return fmt.Errorf("kdbtree: item %v outside page region %v", it.point, n.region)
+				}
+			}
+			count += len(n.items)
+			return nil
+		}
+		var logVol float64
+		for i := range n.entries {
+			e := &n.entries[i]
+			if !n.region.ContainsRect(e.region) {
+				return fmt.Errorf("kdbtree: child region %v escapes parent %v", e.region, n.region)
+			}
+			if !e.region.Equal(e.child.region) {
+				return fmt.Errorf("kdbtree: entry region mismatch with child")
+			}
+			for j := 0; j < i; j++ {
+				if e.region.Intersects(n.entries[j].region) {
+					return fmt.Errorf("kdbtree: sibling regions intersect")
+				}
+			}
+			logVol += math.Exp2(e.region.LogVolume() - n.region.LogVolume())
+			if err := rec(e.child, depth+1); err != nil {
+				return err
+			}
+		}
+		if logVol < 0.999 || logVol > 1.001 {
+			return fmt.Errorf("kdbtree: child regions cover %.4f of parent volume", logVol)
+		}
+		return nil
+	}
+	if err := rec(t.root, 0); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("kdbtree: walked %d items, size %d", count, t.size)
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package kdbtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"bvtree/internal/geometry"
+)
+
+func randPoint(rng *rand.Rand, dims int) geometry.Point {
+	p := make(geometry.Point, dims)
+	for i := range p {
+		p[i] = rng.Uint64()
+	}
+	return p
+}
+
+func clusteredPoint(rng *rand.Rand, dims int) geometry.Point {
+	p := make(geometry.Point, dims)
+	shift := uint(rng.Intn(56))
+	base := rng.Uint64()
+	for i := range p {
+		off := rng.Uint64()
+		if shift < 64 {
+			off >>= (64 - shift)
+		}
+		p[i] = base + off
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Dims: 0}); err == nil {
+		t.Fatal("dims 0 accepted")
+	}
+	if _, err := New(Options{Dims: 2, DataCapacity: 1}); err == nil {
+		t.Fatal("capacity 1 accepted")
+	}
+}
+
+func TestInsertLookupValidate(t *testing.T) {
+	for _, gen := range []struct {
+		name string
+		fn   func(*rand.Rand, int) geometry.Point
+	}{{"uniform", randPoint}, {"clustered", clusteredPoint}} {
+		t.Run(gen.name, func(t *testing.T) {
+			tr, err := New(Options{Dims: 2, DataCapacity: 8, Fanout: 6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(3))
+			pts := make([]geometry.Point, 3000)
+			for i := range pts {
+				pts[i] = gen.fn(rng, 2)
+				if err := tr.Insert(pts[i], uint64(i)); err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+				if i%500 == 499 {
+					if err := tr.Validate(); err != nil {
+						t.Fatalf("after %d: %v", i+1, err)
+					}
+				}
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range pts {
+				got, err := tr.Lookup(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				found := false
+				for _, v := range got {
+					if v == uint64(i) {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("point %d missing", i)
+				}
+			}
+		})
+	}
+}
+
+func TestRangeAgainstBruteForce(t *testing.T) {
+	tr, _ := New(Options{Dims: 3, DataCapacity: 10, Fanout: 8})
+	rng := rand.New(rand.NewSource(5))
+	var pts []geometry.Point
+	for i := 0; i < 2500; i++ {
+		p := randPoint(rng, 3)
+		pts = append(pts, p)
+		if err := tr.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 30; trial++ {
+		a, b := randPoint(rng, 3), randPoint(rng, 3)
+		min := make(geometry.Point, 3)
+		max := make(geometry.Point, 3)
+		for d := 0; d < 3; d++ {
+			lo, hi := a[d], b[d]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			min[d], max[d] = lo, hi
+		}
+		rect, _ := geometry.NewRect(min, max)
+		want := 0
+		for _, p := range pts {
+			if rect.Contains(p) {
+				want++
+			}
+		}
+		got, err := tr.Count(rect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: %d want %d", trial, got, want)
+		}
+	}
+}
+
+func TestForcedSplitsOccur(t *testing.T) {
+	// Clustered data with small pages reliably triggers directory splits
+	// whose planes cut child regions — the K-D-B cascade.
+	tr, _ := New(Options{Dims: 2, DataCapacity: 4, Fanout: 4})
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20000; i++ {
+		if err := tr.Insert(clusteredPoint(rng, 2), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.ForcedSplits == 0 {
+		t.Fatal("expected forced splits under clustered insertion; the cascade is the K-D-B tree's defining pathology")
+	}
+	if st.MaxForcedPerInsert == 0 {
+		t.Fatal("MaxForcedPerInsert not tracked")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr, _ := New(Options{Dims: 2, DataCapacity: 8, Fanout: 8})
+	rng := rand.New(rand.NewSource(11))
+	pts := make([]geometry.Point, 500)
+	for i := range pts {
+		pts[i] = randPoint(rng, 2)
+		_ = tr.Insert(pts[i], uint64(i))
+	}
+	for i := range pts {
+		ok, err := tr.Delete(pts[i], uint64(i))
+		if err != nil || !ok {
+			t.Fatalf("delete %d: %v %v", i, ok, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len=%d after full drain", tr.Len())
+	}
+	if ok, _ := tr.Delete(pts[0], 0); ok {
+		t.Fatal("delete from empty tree succeeded")
+	}
+}
+
+func TestOccupancySummary(t *testing.T) {
+	tr, _ := New(Options{Dims: 2, DataCapacity: 8, Fanout: 8})
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 2000; i++ {
+		_ = tr.Insert(randPoint(rng, 2), uint64(i))
+	}
+	pages, minOcc, avgOcc := tr.OccupancySummary()
+	if pages == 0 || avgOcc <= 0 || avgOcc > 1.01 || minOcc < 0 {
+		t.Fatalf("summary: pages=%d min=%f avg=%f", pages, minOcc, avgOcc)
+	}
+}

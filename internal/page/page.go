@@ -1,0 +1,272 @@
+// Package page defines the on-page node model shared by the tree
+// structures in this module — index nodes holding region entries and data
+// pages holding points — together with a compact, checksummed binary
+// encoding used by the file-backed store.
+package page
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"bvtree/internal/geometry"
+	"bvtree/internal/region"
+)
+
+// ID identifies a page within a store. Zero is never a valid page.
+type ID uint64
+
+// Nil is the absent-page sentinel.
+const Nil ID = 0
+
+// Kind discriminates page contents.
+type Kind uint8
+
+// Page kinds.
+const (
+	KindInvalid Kind = iota
+	KindIndex
+	KindData
+)
+
+// Entry is one region entry of an index node: the region key, the region's
+// partition level, and the child page holding its contents. A child of a
+// level-0 entry is a data page; otherwise it is an index node at index
+// level equal to the entry's partition level.
+type Entry struct {
+	Key   region.BitString
+	Level int
+	Child ID
+}
+
+// IsGuard reports whether the entry is a promoted guard within a node at
+// the given index level: unpromoted entries of a level-x node have
+// partition level x-1.
+func (e Entry) IsGuard(nodeLevel int) bool { return e.Level < nodeLevel-1 }
+
+// IndexNode is a directory node of the partition hierarchy at index level
+// Level >= 1. Its unpromoted entries have partition level Level-1; promoted
+// guards have lower levels. Region is the node's own region key (the key of
+// its entry in the parent).
+type IndexNode struct {
+	Level   int
+	Region  region.BitString
+	Entries []Entry
+}
+
+// Item is one stored record: an n-dimensional point plus an opaque payload
+// (typically a record identifier).
+type Item struct {
+	Point   geometry.Point
+	Payload uint64
+}
+
+// DataPage is a leaf page holding the points of one level-0 region.
+type DataPage struct {
+	Region region.BitString
+	Items  []Item
+}
+
+const (
+	magic      = 0xB7EE
+	fmtVersion = 1
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeIndex serialises an index node.
+func EncodeIndex(n *IndexNode) []byte {
+	w := newWriter(KindIndex)
+	w.u32(uint32(n.Level))
+	w.bits(n.Region)
+	w.u32(uint32(len(n.Entries)))
+	for _, e := range n.Entries {
+		w.u32(uint32(e.Level))
+		w.bits(e.Key)
+		w.u64(uint64(e.Child))
+	}
+	return w.finish()
+}
+
+// EncodeData serialises a data page. All items must share the page's
+// dimensionality.
+func EncodeData(p *DataPage, dims int) []byte {
+	w := newWriter(KindData)
+	w.u32(uint32(dims))
+	w.bits(p.Region)
+	w.u32(uint32(len(p.Items)))
+	for _, it := range p.Items {
+		for d := 0; d < dims; d++ {
+			w.u64(it.Point[d])
+		}
+		w.u64(it.Payload)
+	}
+	return w.finish()
+}
+
+// DecodeKind returns the kind of an encoded page without fully decoding it.
+func DecodeKind(b []byte) (Kind, error) {
+	r, err := newReader(b)
+	if err != nil {
+		return KindInvalid, err
+	}
+	return r.kind, nil
+}
+
+// DecodeIndex deserialises an index node.
+func DecodeIndex(b []byte) (*IndexNode, error) {
+	r, err := newReader(b)
+	if err != nil {
+		return nil, err
+	}
+	if r.kind != KindIndex {
+		return nil, fmt.Errorf("page: expected index page, found kind %d", r.kind)
+	}
+	n := &IndexNode{}
+	n.Level = int(r.u32())
+	n.Region = r.bits()
+	count := int(r.u32())
+	if count < 0 || count > 1<<20 {
+		return nil, fmt.Errorf("page: implausible entry count %d", count)
+	}
+	n.Entries = make([]Entry, count)
+	for i := range n.Entries {
+		n.Entries[i].Level = int(r.u32())
+		n.Entries[i].Key = r.bits()
+		n.Entries[i].Child = ID(r.u64())
+	}
+	return n, r.err
+}
+
+// DecodeData deserialises a data page.
+func DecodeData(b []byte) (*DataPage, int, error) {
+	r, err := newReader(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	if r.kind != KindData {
+		return nil, 0, fmt.Errorf("page: expected data page, found kind %d", r.kind)
+	}
+	dims := int(r.u32())
+	if dims < 1 || dims > geometry.MaxDims {
+		return nil, 0, fmt.Errorf("page: implausible dimensionality %d", dims)
+	}
+	p := &DataPage{}
+	p.Region = r.bits()
+	count := int(r.u32())
+	if count < 0 || count > 1<<24 {
+		return nil, 0, fmt.Errorf("page: implausible item count %d", count)
+	}
+	p.Items = make([]Item, count)
+	for i := range p.Items {
+		pt := make(geometry.Point, dims)
+		for d := 0; d < dims; d++ {
+			pt[d] = r.u64()
+		}
+		p.Items[i] = Item{Point: pt, Payload: r.u64()}
+	}
+	return p, dims, r.err
+}
+
+// --- encoding primitives ---
+
+type writer struct {
+	buf []byte
+}
+
+func newWriter(k Kind) *writer {
+	w := &writer{buf: make([]byte, 0, 256)}
+	w.u16(magic)
+	w.buf = append(w.buf, byte(k), fmtVersion)
+	return w
+}
+
+func (w *writer) u16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+func (w *writer) bits(b region.BitString) {
+	w.u32(uint32(b.Len()))
+	for _, word := range b.Words() {
+		w.u64(word)
+	}
+}
+
+func (w *writer) finish() []byte {
+	sum := crc32.Checksum(w.buf, crcTable)
+	return binary.LittleEndian.AppendUint32(w.buf, sum)
+}
+
+type reader struct {
+	buf  []byte
+	off  int
+	kind Kind
+	err  error
+}
+
+func newReader(b []byte) (*reader, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("page: truncated page (%d bytes)", len(b))
+	}
+	body, sumBytes := b[:len(b)-4], b[len(b)-4:]
+	want := binary.LittleEndian.Uint32(sumBytes)
+	if got := crc32.Checksum(body, crcTable); got != want {
+		return nil, fmt.Errorf("page: checksum mismatch: got %08x want %08x", got, want)
+	}
+	if binary.LittleEndian.Uint16(body) != magic {
+		return nil, fmt.Errorf("page: bad magic")
+	}
+	if body[3] != fmtVersion {
+		return nil, fmt.Errorf("page: unsupported format version %d", body[3])
+	}
+	return &reader{buf: body, off: 4, kind: Kind(body[2])}, nil
+}
+
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("page: truncated at offset %d (need %d of %d)", r.off, n, len(r.buf))
+		return false
+	}
+	return true
+}
+
+func (r *reader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) bits() region.BitString {
+	n := int(r.u32())
+	if n < 0 || n > 1<<20 {
+		r.err = fmt.Errorf("page: implausible bit length %d", n)
+		return region.BitString{}
+	}
+	words := make([]uint64, (n+63)/64)
+	for i := range words {
+		words[i] = r.u64()
+	}
+	if r.err != nil {
+		return region.BitString{}
+	}
+	b, err := region.FromWords(words, n)
+	if err != nil {
+		r.err = err
+	}
+	return b
+}

@@ -1,0 +1,401 @@
+// Package rtree implements Guttman's R-tree [Gut84] with quadratic-split,
+// the classic index for extended spatial objects (rectangles). The paper
+// cites its unpredictable worst-case behaviour — overlapping directory
+// regions force multi-path searches — as the motivation for building a
+// dual-representation object index on the BV-tree instead (§8, [Fre89b]).
+// This implementation is the comparison baseline for that extension: it
+// counts the nodes every query has to visit, which grows with directory
+// overlap.
+package rtree
+
+import (
+	"fmt"
+	"math"
+
+	"bvtree/internal/geometry"
+)
+
+// Entry is a stored rectangle with an opaque payload.
+type Entry struct {
+	Rect    geometry.Rect
+	Payload uint64
+}
+
+// Tree is an R-tree over n-dimensional rectangles.
+type Tree struct {
+	dims     int
+	min, max int // min/max entries per node
+	root     *node
+	height   int
+	size     int
+	accesses uint64
+}
+
+type node struct {
+	leaf     bool
+	rects    []geometry.Rect
+	payloads []uint64 // leaf
+	children []*node  // interior
+}
+
+// Options configures a Tree.
+type Options struct {
+	Dims int
+	// MaxEntries per node (default 16); MinEntries defaults to
+	// MaxEntries*2/5 (Guttman's m ≈ 40%).
+	MaxEntries int
+	MinEntries int
+}
+
+// New returns an empty R-tree.
+func New(opt Options) (*Tree, error) {
+	if opt.Dims < 1 || opt.Dims > geometry.MaxDims {
+		return nil, fmt.Errorf("rtree: dims %d out of range", opt.Dims)
+	}
+	if opt.MaxEntries == 0 {
+		opt.MaxEntries = 16
+	}
+	if opt.MaxEntries < 4 {
+		return nil, fmt.Errorf("rtree: MaxEntries %d below minimum 4", opt.MaxEntries)
+	}
+	if opt.MinEntries == 0 {
+		opt.MinEntries = opt.MaxEntries * 2 / 5
+	}
+	if opt.MinEntries < 1 || opt.MinEntries > opt.MaxEntries/2 {
+		return nil, fmt.Errorf("rtree: MinEntries %d invalid for MaxEntries %d", opt.MinEntries, opt.MaxEntries)
+	}
+	return &Tree{dims: opt.Dims, min: opt.MinEntries, max: opt.MaxEntries, root: &node{leaf: true}}, nil
+}
+
+// Len returns the number of stored rectangles.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of directory levels above the leaves.
+func (t *Tree) Height() int { return t.height }
+
+// NodeAccesses returns cumulative node visits.
+func (t *Tree) NodeAccesses() uint64 { return t.accesses }
+
+// ResetAccesses zeroes the access counter and returns the prior value.
+func (t *Tree) ResetAccesses() uint64 {
+	v := t.accesses
+	t.accesses = 0
+	return v
+}
+
+// Insert stores a rectangle.
+func (t *Tree) Insert(r geometry.Rect, payload uint64) error {
+	if r.Dims() != t.dims {
+		return fmt.Errorf("rtree: rect has %d dims, tree has %d", r.Dims(), t.dims)
+	}
+	l, rr := t.insert(t.root, r.Clone(), payload)
+	if rr != nil {
+		t.root = &node{
+			rects:    []geometry.Rect{mbr(l), mbr(rr)},
+			children: []*node{l, rr},
+		}
+		t.height++
+	}
+	t.size++
+	return nil
+}
+
+// insert returns replacement siblings when n split (first is n itself
+// restructured).
+func (t *Tree) insert(n *node, r geometry.Rect, payload uint64) (*node, *node) {
+	t.accesses++
+	if n.leaf {
+		n.rects = append(n.rects, r)
+		n.payloads = append(n.payloads, payload)
+		if len(n.rects) <= t.max {
+			return n, nil
+		}
+		return t.splitNode(n)
+	}
+	ci := t.chooseSubtree(n, r)
+	l, rr := t.insert(n.children[ci], r, payload)
+	n.rects[ci] = mbr(l)
+	n.children[ci] = l
+	if rr != nil {
+		n.rects = append(n.rects, mbr(rr))
+		n.children = append(n.children, rr)
+	}
+	if len(n.children) <= t.max {
+		return n, nil
+	}
+	return t.splitNode(n)
+}
+
+// chooseSubtree picks the child needing least enlargement (ties: smallest
+// area) — Guttman's ChooseLeaf criterion.
+func (t *Tree) chooseSubtree(n *node, r geometry.Rect) int {
+	best, bestEnl, bestArea := 0, math.Inf(1), math.Inf(1)
+	for i := range n.rects {
+		area := volume(n.rects[i])
+		enl := volume(union(n.rects[i], r)) - area
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// splitNode implements the quadratic split: pick the pair of entries that
+// would waste the most area together as seeds, then assign the rest by
+// least enlargement, respecting the minimum fill.
+func (t *Tree) splitNode(n *node) (*node, *node) {
+	count := len(n.rects)
+	// Seeds.
+	s1, s2 := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < count; i++ {
+		for j := i + 1; j < count; j++ {
+			d := volume(union(n.rects[i], n.rects[j])) - volume(n.rects[i]) - volume(n.rects[j])
+			if d > worst {
+				worst, s1, s2 = d, i, j
+			}
+		}
+	}
+	a := &node{leaf: n.leaf}
+	b := &node{leaf: n.leaf}
+	assign := func(dst *node, i int) {
+		dst.rects = append(dst.rects, n.rects[i])
+		if n.leaf {
+			dst.payloads = append(dst.payloads, n.payloads[i])
+		} else {
+			dst.children = append(dst.children, n.children[i])
+		}
+	}
+	assign(a, s1)
+	assign(b, s2)
+	ra, rb := n.rects[s1].Clone(), n.rects[s2].Clone()
+	for i := 0; i < count; i++ {
+		if i == s1 || i == s2 {
+			continue
+		}
+		remaining := count - i // pessimistic but sufficient for min-fill
+		switch {
+		case len(a.rects)+remaining <= t.min+1:
+			assign(a, i)
+			ra = union(ra, n.rects[i])
+		case len(b.rects)+remaining <= t.min+1:
+			assign(b, i)
+			rb = union(rb, n.rects[i])
+		default:
+			enlA := volume(union(ra, n.rects[i])) - volume(ra)
+			enlB := volume(union(rb, n.rects[i])) - volume(rb)
+			if enlA < enlB || (enlA == enlB && len(a.rects) <= len(b.rects)) {
+				assign(a, i)
+				ra = union(ra, n.rects[i])
+			} else {
+				assign(b, i)
+				rb = union(rb, n.rects[i])
+			}
+		}
+	}
+	return a, b
+}
+
+// SearchIntersects invokes visit for every stored rectangle intersecting q.
+func (t *Tree) SearchIntersects(q geometry.Rect, visit func(geometry.Rect, uint64) bool) error {
+	if q.Dims() != t.dims {
+		return fmt.Errorf("rtree: query dims mismatch")
+	}
+	t.search(t.root, q, visit)
+	return nil
+}
+
+func (t *Tree) search(n *node, q geometry.Rect, visit func(geometry.Rect, uint64) bool) bool {
+	t.accesses++
+	if n.leaf {
+		for i := range n.rects {
+			if n.rects[i].Intersects(q) {
+				if !visit(n.rects[i], n.payloads[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for i := range n.rects {
+		if n.rects[i].Intersects(q) {
+			if !t.search(n.children[i], q, visit) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CountIntersects returns the number of stored rectangles intersecting q.
+func (t *Tree) CountIntersects(q geometry.Rect) (int, error) {
+	n := 0
+	err := t.SearchIntersects(q, func(geometry.Rect, uint64) bool { n++; return true })
+	return n, err
+}
+
+// Delete removes one rectangle equal to r with the given payload. Guttman
+// deletion with reinsertion of orphaned entries.
+func (t *Tree) Delete(r geometry.Rect, payload uint64) (bool, error) {
+	if r.Dims() != t.dims {
+		return false, fmt.Errorf("rtree: rect dims mismatch")
+	}
+	var orphans []Entry
+	ok := t.remove(t.root, r, payload, &orphans)
+	if !ok {
+		return false, nil
+	}
+	t.size--
+	// Shrink the root.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+		t.height--
+	}
+	for _, o := range orphans {
+		t.size-- // Insert will re-increment
+		if err := t.Insert(o.Rect, o.Payload); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+func (t *Tree) remove(n *node, r geometry.Rect, payload uint64, orphans *[]Entry) bool {
+	t.accesses++
+	if n.leaf {
+		for i := range n.rects {
+			if n.payloads[i] == payload && n.rects[i].Equal(r) {
+				n.rects = append(n.rects[:i], n.rects[i+1:]...)
+				n.payloads = append(n.payloads[:i], n.payloads[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for i := range n.children {
+		if !n.rects[i].Intersects(r) {
+			continue
+		}
+		if t.remove(n.children[i], r, payload, orphans) {
+			c := n.children[i]
+			size := len(c.rects)
+			if size < t.min {
+				// Condense: orphan the undersized child's entries.
+				collectEntries(c, orphans)
+				n.rects = append(n.rects[:i], n.rects[i+1:]...)
+				n.children = append(n.children[:i], n.children[i+1:]...)
+			} else {
+				n.rects[i] = mbr(c)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func collectEntries(n *node, out *[]Entry) {
+	if n.leaf {
+		for i := range n.rects {
+			*out = append(*out, Entry{Rect: n.rects[i], Payload: n.payloads[i]})
+		}
+		return
+	}
+	for _, c := range n.children {
+		collectEntries(c, out)
+	}
+}
+
+// OverlapFactor measures directory quality: the average number of
+// children of each interior node that a random child rectangle overlaps
+// beyond itself. Zero means a perfectly disjoint directory (which the
+// R-tree cannot guarantee — the BV-tree's representation can).
+func (t *Tree) OverlapFactor() float64 {
+	pairs, overlapping := 0, 0
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n.leaf {
+			return
+		}
+		for i := range n.rects {
+			for j := i + 1; j < len(n.rects); j++ {
+				pairs++
+				if n.rects[i].Intersects(n.rects[j]) {
+					overlapping++
+				}
+			}
+		}
+		for _, c := range n.children {
+			rec(c)
+		}
+	}
+	rec(t.root)
+	if pairs == 0 {
+		return 0
+	}
+	return float64(overlapping) / float64(pairs)
+}
+
+// Validate checks structural invariants: bounding rectangles contain
+// their subtrees, uniform leaf depth, and the entry count.
+func (t *Tree) Validate() error {
+	count := 0
+	var rec func(n *node, depth int) (geometry.Rect, error)
+	rec = func(n *node, depth int) (geometry.Rect, error) {
+		if n.leaf {
+			if depth != t.height {
+				return geometry.Rect{}, fmt.Errorf("rtree: leaf at depth %d, height %d", depth, t.height)
+			}
+			count += len(n.rects)
+			return mbr(n), nil
+		}
+		if len(n.children) != len(n.rects) {
+			return geometry.Rect{}, fmt.Errorf("rtree: rect/child count mismatch")
+		}
+		for i, c := range n.children {
+			sub, err := rec(c, depth+1)
+			if err != nil {
+				return geometry.Rect{}, err
+			}
+			if !n.rects[i].ContainsRect(sub) {
+				return geometry.Rect{}, fmt.Errorf("rtree: bounding rect does not contain subtree")
+			}
+		}
+		return mbr(n), nil
+	}
+	if _, err := rec(t.root, 0); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rtree: walked %d entries, size %d", count, t.size)
+	}
+	return nil
+}
+
+// --- geometry helpers ---
+
+func union(a, b geometry.Rect) geometry.Rect {
+	out := a.Clone()
+	for d := range out.Min {
+		if b.Min[d] < out.Min[d] {
+			out.Min[d] = b.Min[d]
+		}
+		if b.Max[d] > out.Max[d] {
+			out.Max[d] = b.Max[d]
+		}
+	}
+	return out
+}
+
+// volume returns the log-scaled volume used for enlargement comparisons
+// (linear volumes overflow float64 in a 2^64 domain).
+func volume(r geometry.Rect) float64 {
+	return r.LogVolume()
+}
+
+func mbr(n *node) geometry.Rect {
+	out := n.rects[0].Clone()
+	for _, r := range n.rects[1:] {
+		out = union(out, r)
+	}
+	return out
+}

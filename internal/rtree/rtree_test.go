@@ -1,0 +1,173 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"bvtree/internal/geometry"
+)
+
+func randRect(rng *rand.Rand, dims int, maxSide uint64) geometry.Rect {
+	min := make(geometry.Point, dims)
+	max := make(geometry.Point, dims)
+	for d := 0; d < dims; d++ {
+		lo := rng.Uint64()
+		side := rng.Uint64() % maxSide
+		if lo > ^uint64(0)-side {
+			lo = ^uint64(0) - side
+		}
+		min[d], max[d] = lo, lo+side
+	}
+	return geometry.Rect{Min: min, Max: max}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Dims: 0}); err == nil {
+		t.Fatal("dims 0 accepted")
+	}
+	if _, err := New(Options{Dims: 2, MaxEntries: 2}); err == nil {
+		t.Fatal("max 2 accepted")
+	}
+	if _, err := New(Options{Dims: 2, MaxEntries: 8, MinEntries: 7}); err == nil {
+		t.Fatal("min > max/2 accepted")
+	}
+}
+
+func TestInsertSearchAgainstBruteForce(t *testing.T) {
+	tr, err := New(Options{Dims: 2, MaxEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var rects []geometry.Rect
+	for i := 0; i < 3000; i++ {
+		r := randRect(rng, 2, 1<<48)
+		rects = append(rects, r)
+		if err := tr.Insert(r, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 40; trial++ {
+		q := randRect(rng, 2, 1<<56)
+		want := 0
+		for _, r := range rects {
+			if r.Intersects(q) {
+				want++
+			}
+		}
+		got, err := tr.CountIntersects(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: got %d want %d", trial, got, want)
+		}
+	}
+}
+
+func TestDeleteAgainstModel(t *testing.T) {
+	tr, _ := New(Options{Dims: 2, MaxEntries: 6})
+	rng := rand.New(rand.NewSource(2))
+	type rec struct {
+		r  geometry.Rect
+		id uint64
+	}
+	var live []rec
+	nextID := uint64(0)
+	for op := 0; op < 4000; op++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			r := randRect(rng, 2, 1<<50)
+			if err := tr.Insert(r, nextID); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, rec{r, nextID})
+			nextID++
+		} else {
+			i := rng.Intn(len(live))
+			ok, err := tr.Delete(live[i].r, live[i].id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("op %d: delete of live rect failed", op)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if op%500 == 499 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			if tr.Len() != len(live) {
+				t.Fatalf("op %d: len %d want %d", op, tr.Len(), len(live))
+			}
+		}
+	}
+	// All live rects findable.
+	for _, rc := range live {
+		found := false
+		err := tr.SearchIntersects(rc.r, func(r geometry.Rect, id uint64) bool {
+			if id == rc.id && r.Equal(rc.r) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("live rect %d missing", rc.id)
+		}
+	}
+	if ok, _ := tr.Delete(randRect(rng, 2, 4), 999999); ok {
+		t.Fatal("delete of absent rect succeeded")
+	}
+}
+
+func TestOverlapFactorNonzeroOnClutter(t *testing.T) {
+	tr, _ := New(Options{Dims: 2, MaxEntries: 8})
+	rng := rand.New(rand.NewSource(3))
+	// Large overlapping rectangles force directory overlap.
+	for i := 0; i < 2000; i++ {
+		if err := tr.Insert(randRect(rng, 2, 1<<60), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.OverlapFactor() == 0 {
+		t.Fatal("expected directory overlap with large random rectangles")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessCounting(t *testing.T) {
+	tr, _ := New(Options{Dims: 2, MaxEntries: 8})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		_ = tr.Insert(randRect(rng, 2, 1<<40), uint64(i))
+	}
+	tr.ResetAccesses()
+	_, _ = tr.CountIntersects(randRect(rng, 2, 1<<40))
+	if tr.NodeAccesses() == 0 {
+		t.Fatal("no accesses counted")
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	tr, _ := New(Options{Dims: 2, MaxEntries: 16})
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20000; i++ {
+		_ = tr.Insert(randRect(rng, 2, 1<<32), uint64(i))
+	}
+	if tr.Height() > 6 {
+		t.Fatalf("height %d too large for 20k entries at fan-out 16", tr.Height())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

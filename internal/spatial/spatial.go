@@ -1,0 +1,183 @@
+// Package spatial implements the paper's §8 extension: indexing extended
+// spatial objects (rectangular covers) with the worst-case behaviour of
+// the B-tree, by building the dual representation of [Fre89b] on the
+// BV-tree instead of on the BANG file.
+//
+// An n-dimensional rectangle is stored as a single point in 2n-dimensional
+// dual space — its lower bounds followed by its upper bounds — so objects
+// are never clipped or duplicated (the R+-tree problem) and never create
+// overlapping directory regions (the R-tree problem). The three standard
+// object queries translate to axis-aligned range queries in dual space:
+//
+//	intersects Q:  min_d ≤ Q.max_d  ∧  max_d ≥ Q.min_d   (for all d)
+//	contained in Q: min_d ≥ Q.min_d  ∧  max_d ≤ Q.max_d
+//	contains Q:     min_d ≤ Q.min_d  ∧  max_d ≥ Q.max_d
+//
+// which the BV-tree answers with its guaranteed node occupancy and
+// bounded update cost. The cost profile is therefore exactly the
+// BV-tree's; the rtree package provides the classical comparison point.
+package spatial
+
+import (
+	"fmt"
+	"math"
+
+	"bvtree/internal/bvtree"
+	"bvtree/internal/geometry"
+)
+
+// Index stores n-dimensional rectangles with uint64 payloads.
+type Index struct {
+	tr   *bvtree.Tree
+	dims int
+}
+
+// Options configures an Index.
+type Options struct {
+	// Dims is the primal dimensionality of the stored rectangles.
+	Dims int
+	// DataCapacity and Fanout configure the underlying BV-tree.
+	DataCapacity int
+	Fanout       int
+	// LevelScaledPages enables §7.3 index pages on the underlying tree.
+	LevelScaledPages bool
+}
+
+// New returns an empty object index.
+func New(opt Options) (*Index, error) {
+	if opt.Dims < 1 || opt.Dims*2 > geometry.MaxDims {
+		return nil, fmt.Errorf("spatial: dims %d out of range 1..%d", opt.Dims, geometry.MaxDims/2)
+	}
+	tr, err := bvtree.New(bvtree.Options{
+		Dims:             opt.Dims * 2,
+		DataCapacity:     opt.DataCapacity,
+		Fanout:           opt.Fanout,
+		LevelScaledPages: opt.LevelScaledPages,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{tr: tr, dims: opt.Dims}, nil
+}
+
+// Len returns the number of stored objects.
+func (ix *Index) Len() int { return ix.tr.Len() }
+
+// Height returns the underlying BV-tree height.
+func (ix *Index) Height() int { return ix.tr.Height() }
+
+// NodeAccesses returns the underlying tree's cumulative node accesses.
+func (ix *Index) NodeAccesses() uint64 { return ix.tr.Stats().NodeAccesses }
+
+// ResetAccesses zeroes the access counter and returns the prior value.
+func (ix *Index) ResetAccesses() uint64 { return ix.tr.ResetAccessCount() }
+
+// Tree exposes the underlying BV-tree for statistics collection.
+func (ix *Index) Tree() *bvtree.Tree { return ix.tr }
+
+// dual maps a rectangle to its dual-space point.
+func (ix *Index) dual(r geometry.Rect) geometry.Point {
+	p := make(geometry.Point, 2*ix.dims)
+	for d := 0; d < ix.dims; d++ {
+		p[d] = r.Min[d]
+		p[ix.dims+d] = r.Max[d]
+	}
+	return p
+}
+
+// primal reconstructs the rectangle from a dual-space point.
+func (ix *Index) primal(p geometry.Point) geometry.Rect {
+	min := make(geometry.Point, ix.dims)
+	max := make(geometry.Point, ix.dims)
+	for d := 0; d < ix.dims; d++ {
+		min[d] = p[d]
+		max[d] = p[ix.dims+d]
+	}
+	return geometry.Rect{Min: min, Max: max}
+}
+
+func (ix *Index) checkRect(r geometry.Rect) error {
+	if r.Dims() != ix.dims {
+		return fmt.Errorf("spatial: rect has %d dims, index has %d", r.Dims(), ix.dims)
+	}
+	return nil
+}
+
+// Insert stores a rectangle.
+func (ix *Index) Insert(r geometry.Rect, payload uint64) error {
+	if err := ix.checkRect(r); err != nil {
+		return err
+	}
+	return ix.tr.Insert(ix.dual(r), payload)
+}
+
+// Delete removes one object equal to r with the given payload.
+func (ix *Index) Delete(r geometry.Rect, payload uint64) (bool, error) {
+	if err := ix.checkRect(r); err != nil {
+		return false, err
+	}
+	return ix.tr.Delete(ix.dual(r), payload)
+}
+
+// Visitor receives matching objects; returning false stops the search.
+type Visitor func(r geometry.Rect, payload uint64) bool
+
+func (ix *Index) query(dualRect geometry.Rect, visit Visitor) error {
+	return ix.tr.RangeQuery(dualRect, func(p geometry.Point, payload uint64) bool {
+		return visit(ix.primal(p), payload)
+	})
+}
+
+// SearchIntersects invokes visit for every object intersecting q.
+func (ix *Index) SearchIntersects(q geometry.Rect, visit Visitor) error {
+	if err := ix.checkRect(q); err != nil {
+		return err
+	}
+	min := make(geometry.Point, 2*ix.dims)
+	max := make(geometry.Point, 2*ix.dims)
+	for d := 0; d < ix.dims; d++ {
+		min[d], max[d] = 0, q.Max[d] // object min within (-inf, q.max]
+		min[ix.dims+d], max[ix.dims+d] = q.Min[d], math.MaxUint64
+	}
+	return ix.query(geometry.Rect{Min: min, Max: max}, visit)
+}
+
+// SearchContained invokes visit for every object lying entirely inside q.
+func (ix *Index) SearchContained(q geometry.Rect, visit Visitor) error {
+	if err := ix.checkRect(q); err != nil {
+		return err
+	}
+	min := make(geometry.Point, 2*ix.dims)
+	max := make(geometry.Point, 2*ix.dims)
+	for d := 0; d < ix.dims; d++ {
+		min[d], max[d] = q.Min[d], q.Max[d]
+		min[ix.dims+d], max[ix.dims+d] = q.Min[d], q.Max[d]
+	}
+	// Tighten: object min in [q.min, q.max] and max in [q.min, q.max];
+	// the pair ordering (min <= max) is inherent to stored objects.
+	return ix.query(geometry.Rect{Min: min, Max: max}, visit)
+}
+
+// SearchContaining invokes visit for every object that covers q entirely.
+func (ix *Index) SearchContaining(q geometry.Rect, visit Visitor) error {
+	if err := ix.checkRect(q); err != nil {
+		return err
+	}
+	min := make(geometry.Point, 2*ix.dims)
+	max := make(geometry.Point, 2*ix.dims)
+	for d := 0; d < ix.dims; d++ {
+		min[d], max[d] = 0, q.Min[d]
+		min[ix.dims+d], max[ix.dims+d] = q.Max[d], math.MaxUint64
+	}
+	return ix.query(geometry.Rect{Min: min, Max: max}, visit)
+}
+
+// CountIntersects returns the number of objects intersecting q.
+func (ix *Index) CountIntersects(q geometry.Rect) (int, error) {
+	n := 0
+	err := ix.SearchIntersects(q, func(geometry.Rect, uint64) bool { n++; return true })
+	return n, err
+}
+
+// Validate runs the underlying tree's invariant checker.
+func (ix *Index) Validate(full bool) error { return ix.tr.Validate(full) }

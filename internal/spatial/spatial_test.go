@@ -1,0 +1,179 @@
+package spatial
+
+import (
+	"math/rand"
+	"testing"
+
+	"bvtree/internal/geometry"
+)
+
+func randRect(rng *rand.Rand, dims int, maxSide uint64) geometry.Rect {
+	min := make(geometry.Point, dims)
+	max := make(geometry.Point, dims)
+	for d := 0; d < dims; d++ {
+		lo := rng.Uint64()
+		side := rng.Uint64() % maxSide
+		if lo > ^uint64(0)-side {
+			lo = ^uint64(0) - side
+		}
+		min[d], max[d] = lo, lo+side
+	}
+	return geometry.Rect{Min: min, Max: max}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Dims: 0}); err == nil {
+		t.Fatal("dims 0 accepted")
+	}
+	if _, err := New(Options{Dims: 17}); err == nil {
+		t.Fatal("dual dims beyond MaxDims accepted")
+	}
+}
+
+func TestDualRoundTrip(t *testing.T) {
+	ix, err := New(Options{Dims: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		r := randRect(rng, 3, 1<<40)
+		back := ix.primal(ix.dual(r))
+		if !back.Equal(r) {
+			t.Fatalf("dual round trip: %v -> %v", r, back)
+		}
+	}
+}
+
+func TestQueriesAgainstBruteForce(t *testing.T) {
+	ix, err := New(Options{Dims: 2, DataCapacity: 8, Fanout: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var rects []geometry.Rect
+	for i := 0; i < 3000; i++ {
+		r := randRect(rng, 2, 1<<52)
+		rects = append(rects, r)
+		if err := ix.Insert(r, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := randRect(rng, 2, 1<<56)
+
+		wantInt, wantIn, wantCov := 0, 0, 0
+		for _, r := range rects {
+			if r.Intersects(q) {
+				wantInt++
+			}
+			if q.ContainsRect(r) {
+				wantIn++
+			}
+			if r.ContainsRect(q) {
+				wantCov++
+			}
+		}
+		got, err := ix.CountIntersects(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != wantInt {
+			t.Fatalf("trial %d intersects: got %d want %d", trial, got, wantInt)
+		}
+		gotIn := 0
+		if err := ix.SearchContained(q, func(r geometry.Rect, _ uint64) bool {
+			if !q.ContainsRect(r) {
+				t.Fatalf("SearchContained returned %v outside %v", r, q)
+			}
+			gotIn++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if gotIn != wantIn {
+			t.Fatalf("trial %d contained: got %d want %d", trial, gotIn, wantIn)
+		}
+		gotCov := 0
+		if err := ix.SearchContaining(q, func(r geometry.Rect, _ uint64) bool {
+			if !r.ContainsRect(q) {
+				t.Fatalf("SearchContaining returned %v not covering %v", r, q)
+			}
+			gotCov++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if gotCov != wantCov {
+			t.Fatalf("trial %d containing: got %d want %d", trial, gotCov, wantCov)
+		}
+	}
+}
+
+func TestDeleteObjects(t *testing.T) {
+	ix, _ := New(Options{Dims: 2, DataCapacity: 8, Fanout: 8})
+	rng := rand.New(rand.NewSource(3))
+	var rects []geometry.Rect
+	for i := 0; i < 1000; i++ {
+		r := randRect(rng, 2, 1<<45)
+		rects = append(rects, r)
+		if err := ix.Insert(r, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		ok, err := ix.Delete(rects[i], uint64(i))
+		if err != nil || !ok {
+			t.Fatalf("delete %d: %v %v", i, ok, err)
+		}
+	}
+	if ix.Len() != 500 {
+		t.Fatalf("Len=%d", ix.Len())
+	}
+	// Deleted objects are gone; survivors remain.
+	u := geometry.UniverseRect(2)
+	seen := map[uint64]bool{}
+	if err := ix.SearchIntersects(u, func(_ geometry.Rect, id uint64) bool {
+		seen[id] = true
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if seen[uint64(i)] {
+			t.Fatalf("deleted object %d still found", i)
+		}
+	}
+	for i := 500; i < 1000; i++ {
+		if !seen[uint64(i)] {
+			t.Fatalf("surviving object %d missing", i)
+		}
+	}
+	if err := ix.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoClippingEver(t *testing.T) {
+	// The point of the dual representation: each object is exactly one
+	// entry, so Len equals the number of inserts even for objects
+	// spanning the whole domain (which an R+-tree would clip into
+	// fragments).
+	ix, _ := New(Options{Dims: 2})
+	huge := geometry.UniverseRect(2)
+	for i := 0; i < 100; i++ {
+		if err := ix.Insert(huge, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != 100 {
+		t.Fatalf("Len=%d, objects were duplicated or clipped", ix.Len())
+	}
+	n, err := ix.CountIntersects(huge)
+	if err != nil || n != 100 {
+		t.Fatalf("count %d err %v", n, err)
+	}
+}

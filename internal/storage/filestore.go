@@ -1,0 +1,447 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+
+	"bvtree/internal/page"
+)
+
+// FileStore is a file-backed Store. The file is an array of fixed-size
+// slots; a node occupies a chain of one or more slots, so nodes may be
+// arbitrarily large (the BV-tree's level-scaled index pages of §7.3 simply
+// chain more slots). Slot 0 holds the store header. Freed slots are linked
+// into an intrusive free list. An LRU buffer pool caches slot frames and
+// writes dirty frames back on eviction and on Sync.
+type FileStore struct {
+	mu       sync.Mutex
+	f        *os.File
+	slotSize int
+	nextSlot uint64
+	freeHead uint64
+	stats    Stats
+
+	cap      int
+	pinDirty bool
+	frames   map[uint64]*frame
+	lru      frameList
+	closed   bool
+}
+
+type frame struct {
+	slot       uint64
+	buf        []byte
+	dirty      bool
+	prev, next *frame
+}
+
+type frameList struct{ head, tail *frame }
+
+func (l *frameList) pushFront(f *frame) {
+	f.prev, f.next = nil, l.head
+	if l.head != nil {
+		l.head.prev = f
+	}
+	l.head = f
+	if l.tail == nil {
+		l.tail = f
+	}
+}
+
+func (l *frameList) remove(f *frame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else {
+		l.head = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else {
+		l.tail = f.prev
+	}
+	f.prev, f.next = nil, nil
+}
+
+const (
+	fileMagic      = 0xB7EEF11E00000001
+	slotHeaderSize = 12 // next slot (8) + fragment length (4)
+	minSlotSize    = 64
+	headerSize     = 40 // magic(8) + version(4) + slotSize(4) + nextSlot(8) + freeHead(8) + reserved(8)
+)
+
+// FileStoreOptions configures a FileStore.
+type FileStoreOptions struct {
+	// SlotSize is the physical slot size in bytes (default 4096).
+	SlotSize int
+	// PoolSlots is the buffer pool capacity in slots (default 1024).
+	PoolSlots int
+	// PinDirty keeps dirty frames in memory until Sync instead of writing
+	// them back on eviction. With PinDirty the on-disk image only changes
+	// at Sync, so the disk always holds exactly the last explicitly
+	// synced state — the checkpoint discipline bvtree.DurableTree relies
+	// on. The pool may exceed PoolSlots while dirty frames accumulate.
+	PinDirty bool
+}
+
+// CreateFileStore creates a new store file, truncating any existing file.
+func CreateFileStore(path string, opts FileStoreOptions) (*FileStore, error) {
+	if opts.SlotSize == 0 {
+		opts.SlotSize = 4096
+	}
+	if opts.SlotSize < minSlotSize {
+		return nil, fmt.Errorf("storage: slot size %d below minimum %d", opts.SlotSize, minSlotSize)
+	}
+	if opts.PoolSlots <= 0 {
+		opts.PoolSlots = 1024
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create %s: %w", path, err)
+	}
+	s := &FileStore{
+		f:        f,
+		slotSize: opts.SlotSize,
+		nextSlot: 1,
+		freeHead: 0,
+		cap:      opts.PoolSlots,
+		pinDirty: opts.PinDirty,
+		frames:   make(map[uint64]*frame),
+	}
+	if err := s.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenFileStore opens an existing store file.
+func OpenFileStore(path string, opts FileStoreOptions) (*FileStore, error) {
+	if opts.PoolSlots <= 0 {
+		opts.PoolSlots = 1024
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	hdr := make([]byte, headerSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: read header of %s: %w", path, err)
+	}
+	if binary.LittleEndian.Uint64(hdr) != fileMagic {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s is not a bvtree store", path)
+	}
+	s := &FileStore{
+		f:        f,
+		slotSize: int(binary.LittleEndian.Uint32(hdr[12:])),
+		nextSlot: binary.LittleEndian.Uint64(hdr[16:]),
+		freeHead: binary.LittleEndian.Uint64(hdr[24:]),
+		cap:      opts.PoolSlots,
+		pinDirty: opts.PinDirty,
+		frames:   make(map[uint64]*frame),
+	}
+	if s.slotSize < minSlotSize {
+		f.Close()
+		return nil, fmt.Errorf("storage: corrupt header: slot size %d", s.slotSize)
+	}
+	return s, nil
+}
+
+func (s *FileStore) writeHeader() error {
+	hdr := make([]byte, headerSize)
+	binary.LittleEndian.PutUint64(hdr, fileMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], 1)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(s.slotSize))
+	binary.LittleEndian.PutUint64(hdr[16:], s.nextSlot)
+	binary.LittleEndian.PutUint64(hdr[24:], s.freeHead)
+	if _, err := s.f.WriteAt(hdr, 0); err != nil {
+		return fmt.Errorf("storage: write header: %w", err)
+	}
+	return nil
+}
+
+// payload capacity of one slot.
+func (s *FileStore) payload() int { return s.slotSize - slotHeaderSize }
+
+// --- slot-level access through the buffer pool (mu held) ---
+
+func (s *FileStore) frameFor(slot uint64, load bool) (*frame, error) {
+	if fr, ok := s.frames[slot]; ok {
+		s.stats.CacheHits++
+		s.lru.remove(fr)
+		s.lru.pushFront(fr)
+		return fr, nil
+	}
+	s.stats.CacheMisses++
+	fr := &frame{slot: slot, buf: make([]byte, s.slotSize)}
+	if load {
+		if _, err := s.f.ReadAt(fr.buf, int64(slot)*int64(s.slotSize)); err != nil {
+			return nil, fmt.Errorf("storage: read slot %d: %w", slot, err)
+		}
+		s.stats.SlotReads++
+	}
+	if err := s.admit(fr); err != nil {
+		return nil, err
+	}
+	return fr, nil
+}
+
+func (s *FileStore) admit(fr *frame) error {
+	victim := s.lru.tail
+	for len(s.frames) >= s.cap && victim != nil {
+		prev := victim.prev
+		if victim.dirty && s.pinDirty {
+			// Dirty frames only reach the disk at Sync; skip them.
+			victim = prev
+			continue
+		}
+		if err := s.flushFrame(victim); err != nil {
+			return err
+		}
+		s.lru.remove(victim)
+		delete(s.frames, victim.slot)
+		victim = prev
+	}
+	s.frames[fr.slot] = fr
+	s.lru.pushFront(fr)
+	return nil
+}
+
+func (s *FileStore) flushFrame(fr *frame) error {
+	if !fr.dirty {
+		return nil
+	}
+	if _, err := s.f.WriteAt(fr.buf, int64(fr.slot)*int64(s.slotSize)); err != nil {
+		return fmt.Errorf("storage: write slot %d: %w", fr.slot, err)
+	}
+	s.stats.SlotWrites++
+	fr.dirty = false
+	return nil
+}
+
+func (s *FileStore) allocSlot() (uint64, error) {
+	if s.freeHead != 0 {
+		slot := s.freeHead
+		fr, err := s.frameFor(slot, true)
+		if err != nil {
+			return 0, err
+		}
+		s.freeHead = binary.LittleEndian.Uint64(fr.buf)
+		return slot, nil
+	}
+	slot := s.nextSlot
+	s.nextSlot++
+	// Extend the file eagerly so ReadAt on a fresh slot cannot fail.
+	if err := s.f.Truncate(int64(s.nextSlot) * int64(s.slotSize)); err != nil {
+		return 0, fmt.Errorf("storage: extend file: %w", err)
+	}
+	return slot, nil
+}
+
+func (s *FileStore) freeSlot(slot uint64) error {
+	fr, err := s.frameFor(slot, false)
+	if err != nil {
+		return err
+	}
+	for i := range fr.buf {
+		fr.buf[i] = 0
+	}
+	binary.LittleEndian.PutUint64(fr.buf, s.freeHead)
+	fr.dirty = true
+	s.freeHead = slot
+	return nil
+}
+
+// --- Store interface ---
+
+// Alloc implements Store.
+func (s *FileStore) Alloc() (page.ID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("storage: store is closed")
+	}
+	slot, err := s.allocSlot()
+	if err != nil {
+		return 0, err
+	}
+	fr, err := s.frameFor(slot, false)
+	if err != nil {
+		return 0, err
+	}
+	for i := range fr.buf {
+		fr.buf[i] = 0
+	}
+	fr.dirty = true
+	s.stats.Allocs++
+	return page.ID(slot), nil
+}
+
+// ReadNode implements Store. It assembles the slot chain starting at id.
+func (s *FileStore) ReadNode(id page.ID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("storage: store is closed")
+	}
+	s.stats.NodeReads++
+	var out []byte
+	slot := uint64(id)
+	for slot != 0 {
+		fr, err := s.frameFor(slot, true)
+		if err != nil {
+			return nil, err
+		}
+		next := binary.LittleEndian.Uint64(fr.buf)
+		n := int(binary.LittleEndian.Uint32(fr.buf[8:]))
+		if n < 0 || n > s.payload() {
+			return nil, fmt.Errorf("storage: corrupt fragment length %d in slot %d", n, slot)
+		}
+		out = append(out, fr.buf[slotHeaderSize:slotHeaderSize+n]...)
+		slot = next
+	}
+	return out, nil
+}
+
+// WriteNode implements Store. It reuses the existing chain, growing or
+// shrinking it as required by the blob size.
+func (s *FileStore) WriteNode(id page.ID, blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("storage: store is closed")
+	}
+	s.stats.NodeWrites++
+	slot := uint64(id)
+	off := 0
+	first := true
+	for {
+		fr, err := s.frameFor(slot, !first)
+		if err != nil {
+			return err
+		}
+		if first {
+			// The head frame may not have been loaded before; ensure the
+			// chain pointer is current by loading it when present on disk.
+			fr, err = s.frameFor(slot, true)
+			if err != nil {
+				return err
+			}
+		}
+		n := len(blob) - off
+		if n > s.payload() {
+			n = s.payload()
+		}
+		copy(fr.buf[slotHeaderSize:], blob[off:off+n])
+		binary.LittleEndian.PutUint32(fr.buf[8:], uint32(n))
+		off += n
+		oldNext := binary.LittleEndian.Uint64(fr.buf)
+		if off >= len(blob) {
+			binary.LittleEndian.PutUint64(fr.buf, 0)
+			fr.dirty = true
+			// Free any trailing slots of a previously longer chain.
+			for oldNext != 0 {
+				nf, err := s.frameFor(oldNext, true)
+				if err != nil {
+					return err
+				}
+				next := binary.LittleEndian.Uint64(nf.buf)
+				if err := s.freeSlot(oldNext); err != nil {
+					return err
+				}
+				oldNext = next
+			}
+			return nil
+		}
+		next := oldNext
+		if next == 0 {
+			next, err = s.allocSlot()
+			if err != nil {
+				return err
+			}
+			nf, err2 := s.frameFor(next, false)
+			if err2 != nil {
+				return err2
+			}
+			for i := range nf.buf {
+				nf.buf[i] = 0
+			}
+			nf.dirty = true
+		}
+		binary.LittleEndian.PutUint64(fr.buf, next)
+		fr.dirty = true
+		slot = next
+		first = false
+	}
+}
+
+// Free implements Store.
+func (s *FileStore) Free(id page.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("storage: store is closed")
+	}
+	s.stats.Frees++
+	slot := uint64(id)
+	for slot != 0 {
+		fr, err := s.frameFor(slot, true)
+		if err != nil {
+			return err
+		}
+		next := binary.LittleEndian.Uint64(fr.buf)
+		if err := s.freeSlot(slot); err != nil {
+			return err
+		}
+		slot = next
+	}
+	return nil
+}
+
+// Stats implements Store.
+func (s *FileStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Sync implements Store: flushes dirty frames, the header, and fsyncs.
+func (s *FileStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncLocked()
+}
+
+func (s *FileStore) syncLocked() error {
+	for _, fr := range s.frames {
+		if err := s.flushFrame(fr); err != nil {
+			return err
+		}
+	}
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("storage: fsync: %w", err)
+	}
+	return nil
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	if err := s.syncLocked(); err != nil {
+		s.f.Close()
+		s.closed = true
+		return err
+	}
+	s.closed = true
+	return s.f.Close()
+}

@@ -1,0 +1,258 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bvtree/internal/page"
+)
+
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	fs, err := CreateFileStore(filepath.Join(t.TempDir(), "store.db"), FileStoreOptions{SlotSize: 256, PoolSlots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return map[string]Store{
+		"mem":  NewMemStore(),
+		"file": fs,
+	}
+}
+
+func TestStoreBasics(t *testing.T) {
+	for name, st := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			id, err := st.Alloc()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.WriteNode(id, []byte("hello")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := st.ReadNode(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "hello" {
+				t.Fatalf("got %q", got)
+			}
+			// Overwrite with longer and shorter blobs.
+			long := bytes.Repeat([]byte("x"), 10000)
+			if err := st.WriteNode(id, long); err != nil {
+				t.Fatal(err)
+			}
+			got, _ = st.ReadNode(id)
+			if !bytes.Equal(got, long) {
+				t.Fatalf("long blob mismatch: %d bytes", len(got))
+			}
+			if err := st.WriteNode(id, []byte("s")); err != nil {
+				t.Fatal(err)
+			}
+			got, _ = st.ReadNode(id)
+			if string(got) != "s" {
+				t.Fatalf("shrunk blob = %q", got)
+			}
+			if err := st.Free(id); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestStoreManyNodesRandomized(t *testing.T) {
+	for name, st := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(3))
+			model := make(map[page.ID][]byte)
+			var ids []page.ID
+			for op := 0; op < 3000; op++ {
+				switch {
+				case len(ids) == 0 || rng.Float64() < 0.35:
+					id, err := st.Alloc()
+					if err != nil {
+						t.Fatal(err)
+					}
+					blob := make([]byte, rng.Intn(2000))
+					rng.Read(blob)
+					if err := st.WriteNode(id, blob); err != nil {
+						t.Fatal(err)
+					}
+					model[id] = blob
+					ids = append(ids, id)
+				case rng.Float64() < 0.6:
+					id := ids[rng.Intn(len(ids))]
+					blob := make([]byte, rng.Intn(3000))
+					rng.Read(blob)
+					if err := st.WriteNode(id, blob); err != nil {
+						t.Fatal(err)
+					}
+					model[id] = blob
+				default:
+					i := rng.Intn(len(ids))
+					id := ids[i]
+					if err := st.Free(id); err != nil {
+						t.Fatal(err)
+					}
+					delete(model, id)
+					ids[i] = ids[len(ids)-1]
+					ids = ids[:len(ids)-1]
+				}
+				if op%250 == 0 {
+					for id, want := range model {
+						got, err := st.ReadNode(id)
+						if err != nil {
+							t.Fatalf("read %d: %v", id, err)
+						}
+						if !bytes.Equal(got, want) {
+							t.Fatalf("node %d content mismatch (%d vs %d bytes)", id, len(got), len(want))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFileStorePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.db")
+	fs, err := CreateFileStore(path, FileStoreOptions{SlotSize: 128, PoolSlots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	model := make(map[page.ID][]byte)
+	for i := 0; i < 50; i++ {
+		id, err := fs.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob := make([]byte, rng.Intn(1000))
+		rng.Read(blob)
+		if err := fs.WriteNode(id, blob); err != nil {
+			t.Fatal(err)
+		}
+		model[id] = blob
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFileStore(path, FileStoreOptions{PoolSlots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for id, want := range model {
+		got, err := re.ReadNode(id)
+		if err != nil {
+			t.Fatalf("reopened read %d: %v", id, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("node %d mismatch after reopen", id)
+		}
+	}
+	// Allocation must not hand out overlapping slots after reopen.
+	id, err := re.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.WriteNode(id, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	for mid, want := range model {
+		got, _ := re.ReadNode(mid)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("node %d clobbered by new allocation", mid)
+		}
+	}
+}
+
+func TestFileStoreFreeListReuse(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "free.db")
+	fs, err := CreateFileStore(path, FileStoreOptions{SlotSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	// Fill, free, refill: the file should not grow on the second fill.
+	var ids []page.ID
+	big := bytes.Repeat([]byte("y"), 1000) // multi-slot chains
+	for i := 0; i < 20; i++ {
+		id, _ := fs.Alloc()
+		if err := fs.WriteNode(id, big); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	grown := fs.nextSlot
+	for _, id := range ids {
+		if err := fs.Free(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		id, _ := fs.Alloc()
+		if err := fs.WriteNode(id, big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fs.nextSlot != grown {
+		t.Fatalf("file grew from %d to %d slots despite free list", grown, fs.nextSlot)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.db")
+	if err := writeFile(path, bytes.Repeat([]byte{0xAB}, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(path, FileStoreOptions{}); err == nil {
+		t.Fatal("garbage file opened")
+	}
+}
+
+func TestErrorsOnUnallocated(t *testing.T) {
+	m := NewMemStore()
+	if _, err := m.ReadNode(99); err == nil {
+		t.Fatal("read of unallocated page succeeded")
+	}
+	if err := m.WriteNode(99, nil); err == nil {
+		t.Fatal("write to unallocated page succeeded")
+	}
+	if err := m.Free(99); err == nil {
+		t.Fatal("free of unallocated page succeeded")
+	}
+}
+
+func TestStatsProgress(t *testing.T) {
+	m := NewMemStore()
+	id, _ := m.Alloc()
+	_ = m.WriteNode(id, []byte("a"))
+	_, _ = m.ReadNode(id)
+	s := m.Stats()
+	if s.Allocs != 1 || s.NodeWrites != 1 || s.NodeReads != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if d := s.Sub(Stats{NodeReads: 1}); d.NodeReads != 0 || d.Allocs != 1 {
+		t.Fatalf("Sub = %+v", d)
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	f, err := createFile(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func createFile(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}

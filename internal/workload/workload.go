@@ -1,0 +1,224 @@
+// Package workload provides deterministic, seeded point and query
+// generators for the experiments. All generators are reproducible across
+// runs and Go versions (they use a local splitmix64 source, not
+// math/rand).
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"bvtree/internal/geometry"
+)
+
+// Source is a splitmix64 pseudo-random source.
+type Source struct {
+	state uint64
+}
+
+// NewSource returns a deterministic source for the given seed.
+func NewSource(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Uint64 returns the next pseudo-random value.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a value in [0, n).
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive bound")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns an approximately standard normal value
+// (Box–Muller).
+func (s *Source) NormFloat64() float64 {
+	u1 := s.Float64()
+	for u1 == 0 {
+		u1 = s.Float64()
+	}
+	u2 := s.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Kind names a point distribution.
+type Kind string
+
+// Distributions used across the experiments.
+const (
+	// Uniform spreads points independently and uniformly.
+	Uniform Kind = "uniform"
+	// Clustered draws points from a fixed number of gaussian clusters of
+	// varying scale — typical of geographic and measurement data.
+	Clustered Kind = "clustered"
+	// Skewed concentrates mass towards the origin with a power law per
+	// dimension.
+	Skewed Kind = "skewed"
+	// Diagonal places points near the main diagonal (highly correlated
+	// attributes).
+	Diagonal Kind = "diagonal"
+	// Nested is the adversarial distribution: clusters nested inside
+	// clusters at geometrically shrinking scales, which maximises region
+	// enclosure and therefore guard promotion in the BV-tree and forced
+	// splitting in the K-D-B tree and BANG file.
+	Nested Kind = "nested"
+)
+
+// Kinds lists all distributions.
+func Kinds() []Kind { return []Kind{Uniform, Clustered, Skewed, Diagonal, Nested} }
+
+// Generate returns n dims-dimensional points drawn from the distribution.
+func Generate(kind Kind, dims, n int, seed uint64) ([]geometry.Point, error) {
+	if dims < 1 || dims > geometry.MaxDims {
+		return nil, fmt.Errorf("workload: dims %d out of range", dims)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("workload: negative count")
+	}
+	src := NewSource(seed)
+	out := make([]geometry.Point, n)
+	switch kind {
+	case Uniform:
+		for i := range out {
+			p := make(geometry.Point, dims)
+			for d := range p {
+				p[d] = src.Uint64()
+			}
+			out[i] = p
+		}
+	case Clustered:
+		const clusters = 16
+		centers := make([]geometry.Point, clusters)
+		scales := make([]float64, clusters)
+		for c := range centers {
+			centers[c] = make(geometry.Point, dims)
+			for d := range centers[c] {
+				centers[c][d] = src.Uint64()
+			}
+			// Spread cluster radii over ~6 orders of magnitude.
+			scales[c] = math.Pow(2, 40+src.Float64()*20)
+		}
+		for i := range out {
+			c := src.Intn(clusters)
+			p := make(geometry.Point, dims)
+			for d := range p {
+				off := int64(src.NormFloat64() * scales[c])
+				p[d] = centers[c][d] + uint64(off)
+			}
+			out[i] = p
+		}
+	case Skewed:
+		for i := range out {
+			p := make(geometry.Point, dims)
+			for d := range p {
+				// x^4 concentrates ~84% of the mass in the lowest half of
+				// the domain per dimension and ~18% in the lowest 1/64.
+				f := src.Float64()
+				f = f * f * f * f
+				p[d] = uint64(f * math.MaxUint64)
+			}
+			out[i] = p
+		}
+	case Diagonal:
+		for i := range out {
+			base := src.Uint64()
+			p := make(geometry.Point, dims)
+			for d := range p {
+				off := int64(src.NormFloat64() * float64(1<<44))
+				p[d] = base + uint64(off)
+			}
+			out[i] = p
+		}
+	case Nested:
+		// A chain of nested cluster centres: level k has scale 2^(60-4k).
+		const depth = 14
+		centers := make([]geometry.Point, depth)
+		cur := make(geometry.Point, dims)
+		for d := range cur {
+			cur[d] = src.Uint64()
+		}
+		for k := 0; k < depth; k++ {
+			centers[k] = cur.Clone()
+			next := cur.Clone()
+			for d := range next {
+				shift := 60 - 4*k
+				if shift < 2 {
+					shift = 2
+				}
+				next[d] += src.Uint64() >> uint(64-shift+1)
+			}
+			cur = next
+		}
+		for i := range out {
+			k := src.Intn(depth)
+			scale := 60 - 4*k
+			if scale < 2 {
+				scale = 2
+			}
+			p := make(geometry.Point, dims)
+			for d := range p {
+				p[d] = centers[k][d] + src.Uint64()>>uint(64-scale)
+			}
+			out[i] = p
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown distribution %q", kind)
+	}
+	return out, nil
+}
+
+// QueryRects returns n query rectangles whose side length is the given
+// fraction of the domain in every dimension, centred uniformly at random.
+func QueryRects(dims, n int, sideFrac float64, seed uint64) []geometry.Rect {
+	src := NewSource(seed)
+	side := uint64(sideFrac * math.MaxUint64)
+	out := make([]geometry.Rect, n)
+	for i := range out {
+		min := make(geometry.Point, dims)
+		max := make(geometry.Point, dims)
+		for d := 0; d < dims; d++ {
+			lo := src.Uint64()
+			if lo > math.MaxUint64-side {
+				lo = math.MaxUint64 - side
+			}
+			min[d] = lo
+			max[d] = lo + side
+		}
+		out[i] = geometry.Rect{Min: min, Max: max}
+	}
+	return out
+}
+
+// PartialMatchSpecs enumerates all ways of specifying m of dims
+// attributes. Each returned mask has exactly m true entries.
+func PartialMatchSpecs(dims, m int) [][]bool {
+	var out [][]bool
+	mask := make([]bool, dims)
+	var rec func(start, left int)
+	rec = func(start, left int) {
+		if left == 0 {
+			out = append(out, append([]bool(nil), mask...))
+			return
+		}
+		for i := start; i <= dims-left; i++ {
+			mask[i] = true
+			rec(i+1, left-1)
+			mask[i] = false
+		}
+	}
+	rec(0, m)
+	return out
+}

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	for _, k := range Kinds() {
+		a, err := Generate(k, 3, 500, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := Generate(k, 3, 500, 42)
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				t.Fatalf("%s: run differs at %d", k, i)
+			}
+		}
+		c, _ := Generate(k, 3, 500, 43)
+		same := 0
+		for i := range a {
+			if a[i].Equal(c[i]) {
+				same++
+			}
+		}
+		if same > 5 {
+			t.Fatalf("%s: different seeds nearly identical (%d/500 equal)", k, same)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Uniform, 0, 10, 1); err == nil {
+		t.Fatal("dims 0 accepted")
+	}
+	if _, err := Generate(Kind("nope"), 2, 10, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := Generate(Uniform, 2, -1, 1); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestShapes(t *testing.T) {
+	for _, k := range Kinds() {
+		pts, err := Generate(k, 4, 1000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) != 1000 {
+			t.Fatalf("%s: %d points", k, len(pts))
+		}
+		for _, p := range pts {
+			if len(p) != 4 {
+				t.Fatalf("%s: point with %d dims", k, len(p))
+			}
+		}
+	}
+}
+
+func TestSkewedIsSkewed(t *testing.T) {
+	pts, _ := Generate(Skewed, 1, 5000, 3)
+	low := 0
+	for _, p := range pts {
+		if p[0] < math.MaxUint64/2 {
+			low++
+		}
+	}
+	if float64(low)/5000 < 0.80 {
+		t.Fatalf("skewed distribution not skewed: %d/5000 in lower half", low)
+	}
+}
+
+func TestDiagonalIsCorrelated(t *testing.T) {
+	pts, _ := Generate(Diagonal, 2, 2000, 5)
+	near := 0
+	for _, p := range pts {
+		d := int64(p[0] - p[1])
+		if d < 0 {
+			d = -d
+		}
+		if uint64(d) < 1<<50 {
+			near++
+		}
+	}
+	if float64(near)/2000 < 0.95 {
+		t.Fatalf("diagonal points not near diagonal: %d/2000", near)
+	}
+}
+
+func TestNestedHasMultipleScales(t *testing.T) {
+	pts, _ := Generate(Nested, 2, 5000, 9)
+	// Pairwise distances must span many orders of magnitude.
+	src := NewSource(1)
+	minD, maxD := math.MaxFloat64, 0.0
+	for i := 0; i < 2000; i++ {
+		a := pts[src.Intn(len(pts))]
+		b := pts[src.Intn(len(pts))]
+		if a.Equal(b) {
+			continue
+		}
+		dx := float64(a[0]) - float64(b[0])
+		dy := float64(a[1]) - float64(b[1])
+		d := math.Hypot(dx, dy)
+		if d > 0 {
+			if d < minD {
+				minD = d
+			}
+			if d > maxD {
+				maxD = d
+			}
+		}
+	}
+	if maxD/minD < 1e6 {
+		t.Fatalf("nested scales span only %.1e", maxD/minD)
+	}
+}
+
+func TestQueryRects(t *testing.T) {
+	rects := QueryRects(3, 50, 0.1, 11)
+	if len(rects) != 50 {
+		t.Fatal("count")
+	}
+	for _, r := range rects {
+		for d := 0; d < 3; d++ {
+			if r.Max[d] < r.Min[d] {
+				t.Fatal("inverted rect")
+			}
+			side := float64(r.Max[d] - r.Min[d])
+			if math.Abs(side/math.MaxUint64-0.1) > 0.01 {
+				t.Fatalf("side fraction %f", side/math.MaxUint64)
+			}
+		}
+	}
+}
+
+func TestPartialMatchSpecs(t *testing.T) {
+	specs := PartialMatchSpecs(4, 2)
+	if len(specs) != 6 {
+		t.Fatalf("C(4,2) = %d", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		n := 0
+		key := ""
+		for _, b := range s {
+			if b {
+				n++
+				key += "1"
+			} else {
+				key += "0"
+			}
+		}
+		if n != 2 {
+			t.Fatalf("mask %v has %d set", s, n)
+		}
+		if seen[key] {
+			t.Fatalf("duplicate mask %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestSourceBasics(t *testing.T) {
+	s := NewSource(1)
+	for i := 0; i < 1000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %v", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	s.Intn(0)
+}

@@ -1,0 +1,191 @@
+// Package zbtree implements the linear-mapping baseline the paper
+// discusses [Ore86]: points are mapped to their Z-order (Morton) keys and
+// stored in an ordinary B+-tree, inheriting the B-tree's worst-case
+// guarantees. Range and partial-match queries decompose the query
+// rectangle into Z-key intervals and post-filter candidates — the source
+// of the extra page accesses that [KSS+90] measured, since the method
+// "requires the representation of the whole data space" and cannot
+// contract to occupied subspaces.
+package zbtree
+
+import (
+	"fmt"
+
+	"bvtree/internal/btree"
+	"bvtree/internal/geometry"
+	"bvtree/internal/zorder"
+)
+
+// Index is a Z-order-mapped multidimensional index.
+type Index struct {
+	il   *zorder.Interleaver
+	bt   *btree.Tree
+	dims int
+	// recs is the record heap; the B-tree maps zkey -> record index.
+	recs []record
+	free []uint32
+	// maxRanges bounds the query decomposition.
+	maxRanges int
+}
+
+type record struct {
+	point   geometry.Point
+	payload uint64
+	live    bool
+}
+
+// Options configures an Index.
+type Options struct {
+	// Dims is the dimensionality. Required.
+	Dims int
+	// Order is the B-tree order (default 16).
+	Order int
+	// MaxRanges bounds the Z-interval decomposition per query
+	// (default 64).
+	MaxRanges int
+}
+
+// New returns an empty index.
+func New(opt Options) (*Index, error) {
+	if opt.Dims < 1 || opt.Dims > geometry.MaxDims {
+		return nil, fmt.Errorf("zbtree: dims %d out of range", opt.Dims)
+	}
+	if opt.Order == 0 {
+		opt.Order = 16
+	}
+	if opt.MaxRanges == 0 {
+		opt.MaxRanges = 64
+	}
+	bits := 64 / opt.Dims
+	if bits > 64 {
+		bits = 64
+	}
+	if bits < 1 {
+		bits = 1
+	}
+	il, err := zorder.NewInterleaver(opt.Dims, bits)
+	if err != nil {
+		return nil, err
+	}
+	bt, err := btree.New(opt.Order)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{il: il, bt: bt, dims: opt.Dims, maxRanges: opt.MaxRanges}, nil
+}
+
+// Len returns the number of stored items.
+func (ix *Index) Len() int { return ix.bt.Len() }
+
+// Height returns the underlying B-tree height.
+func (ix *Index) Height() int { return ix.bt.Height() }
+
+// NodeAccesses returns cumulative B-tree node accesses.
+func (ix *Index) NodeAccesses() uint64 { return ix.bt.NodeAccesses() }
+
+// ResetAccesses zeroes the access counter.
+func (ix *Index) ResetAccesses() uint64 { return ix.bt.ResetAccesses() }
+
+// Insert stores (p, payload).
+func (ix *Index) Insert(p geometry.Point, payload uint64) error {
+	key, err := ix.il.Interleave64(p)
+	if err != nil {
+		return err
+	}
+	var slot uint32
+	if n := len(ix.free); n > 0 {
+		slot = ix.free[n-1]
+		ix.free = ix.free[:n-1]
+		ix.recs[slot] = record{point: p.Clone(), payload: payload, live: true}
+	} else {
+		slot = uint32(len(ix.recs))
+		ix.recs = append(ix.recs, record{point: p.Clone(), payload: payload, live: true})
+	}
+	ix.bt.Insert(key, uint64(slot))
+	return nil
+}
+
+// Lookup returns the payloads stored at exactly p.
+func (ix *Index) Lookup(p geometry.Point) ([]uint64, error) {
+	key, err := ix.il.Interleave64(p)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, slot := range ix.bt.Search(key) {
+		r := &ix.recs[slot]
+		if r.live && r.point.Equal(p) {
+			out = append(out, r.payload)
+		}
+	}
+	return out, nil
+}
+
+// Delete removes one item matching (p, payload), reporting success.
+func (ix *Index) Delete(p geometry.Point, payload uint64) (bool, error) {
+	key, err := ix.il.Interleave64(p)
+	if err != nil {
+		return false, err
+	}
+	for _, slot := range ix.bt.Search(key) {
+		r := &ix.recs[slot]
+		if r.live && r.payload == payload && r.point.Equal(p) {
+			if !ix.bt.Delete(key, slot) {
+				return false, fmt.Errorf("zbtree: B-tree entry for record %d vanished", slot)
+			}
+			r.live = false
+			ix.free = append(ix.free, uint32(slot))
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// RangeQuery invokes visit for every item inside rect.
+func (ix *Index) RangeQuery(rect geometry.Rect, visit func(geometry.Point, uint64) bool) error {
+	if rect.Dims() != ix.dims {
+		return fmt.Errorf("zbtree: rect has %d dims, index has %d", rect.Dims(), ix.dims)
+	}
+	ranges, err := zorder.DecomposeRect(ix.il, rect, ix.maxRanges)
+	if err != nil {
+		return err
+	}
+	for _, r := range ranges {
+		stop := false
+		ix.bt.Range(r.Lo, r.Hi, func(_, slot uint64) bool {
+			rec := &ix.recs[slot]
+			if rec.live && rect.Contains(rec.point) {
+				if !visit(rec.point, rec.payload) {
+					stop = true
+					return false
+				}
+			}
+			return true
+		})
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// PartialMatch answers an m-of-n attribute query (see bvtree.PartialMatch).
+func (ix *Index) PartialMatch(values geometry.Point, specified []bool, visit func(geometry.Point, uint64) bool) error {
+	if len(values) != ix.dims || len(specified) != ix.dims {
+		return fmt.Errorf("zbtree: partial-match shape mismatch")
+	}
+	rect := geometry.UniverseRect(ix.dims)
+	for i := range values {
+		if specified[i] {
+			rect.Min[i], rect.Max[i] = values[i], values[i]
+		}
+	}
+	return ix.RangeQuery(rect, visit)
+}
+
+// Count returns the number of items inside rect.
+func (ix *Index) Count(rect geometry.Rect) (int, error) {
+	n := 0
+	err := ix.RangeQuery(rect, func(geometry.Point, uint64) bool { n++; return true })
+	return n, err
+}

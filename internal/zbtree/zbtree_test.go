@@ -1,0 +1,205 @@
+package zbtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"bvtree/internal/geometry"
+)
+
+func randPoint(rng *rand.Rand, dims int) geometry.Point {
+	p := make(geometry.Point, dims)
+	for i := range p {
+		p[i] = rng.Uint64()
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Dims: 0}); err == nil {
+		t.Fatal("dims 0 accepted")
+	}
+	if _, err := New(Options{Dims: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertLookupDelete(t *testing.T) {
+	ix, err := New(Options{Dims: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geometry.Point, 2000)
+	for i := range pts {
+		pts[i] = randPoint(rng, 3)
+		if err := ix.Insert(pts[i], uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != 2000 {
+		t.Fatalf("Len=%d", ix.Len())
+	}
+	for i, p := range pts {
+		got, err := ix.Lookup(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, v := range got {
+			if v == uint64(i) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("point %d missing", i)
+		}
+	}
+	// Delete half, verify.
+	for i := 0; i < 1000; i++ {
+		ok, err := ix.Delete(pts[i], uint64(i))
+		if err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if ix.Len() != 1000 {
+		t.Fatalf("Len after deletes = %d", ix.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		got, _ := ix.Lookup(pts[i])
+		for _, v := range got {
+			if v == uint64(i) {
+				t.Fatalf("deleted item %d still present", i)
+			}
+		}
+	}
+	if ok, _ := ix.Delete(pts[0], 0); ok {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestTruncatedKeyCollisions(t *testing.T) {
+	// 3 dims -> 21 bits per dim: points differing only in low bits collide
+	// on the Z-key and must be disambiguated by post-filtering.
+	ix, err := New(Options{Dims: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := geometry.Point{100, 200, 300}
+	b := geometry.Point{100, 200, 301} // same truncated key
+	if err := ix.Insert(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(b, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ix.Lookup(a)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Lookup(a) = %v", got)
+	}
+	got, _ = ix.Lookup(b)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Lookup(b) = %v", got)
+	}
+	if ok, _ := ix.Delete(a, 1); !ok {
+		t.Fatal("delete under collision failed")
+	}
+	got, _ = ix.Lookup(b)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("collision sibling damaged: %v", got)
+	}
+}
+
+func TestRangeAgainstBruteForce(t *testing.T) {
+	for _, dims := range []int{1, 2, 3} {
+		ix, err := New(Options{Dims: dims, MaxRanges: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(dims)))
+		var pts []geometry.Point
+		for i := 0; i < 3000; i++ {
+			p := randPoint(rng, dims)
+			pts = append(pts, p)
+			if err := ix.Insert(p, uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for trial := 0; trial < 30; trial++ {
+			a, b := randPoint(rng, dims), randPoint(rng, dims)
+			min := make(geometry.Point, dims)
+			max := make(geometry.Point, dims)
+			for d := 0; d < dims; d++ {
+				lo, hi := a[d], b[d]
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				min[d], max[d] = lo, hi
+			}
+			rect, err := geometry.NewRect(min, max)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 0
+			for _, p := range pts {
+				if rect.Contains(p) {
+					want++
+				}
+			}
+			got, err := ix.Count(rect)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("dims=%d trial=%d: count %d want %d", dims, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestPartialMatch(t *testing.T) {
+	ix, _ := New(Options{Dims: 2})
+	rng := rand.New(rand.NewSource(7))
+	val := uint64(1) << 40
+	matching := 0
+	for i := 0; i < 1000; i++ {
+		p := randPoint(rng, 2)
+		if i%10 == 0 {
+			p[0] = val
+			matching++
+		}
+		if err := ix.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	err := ix.PartialMatch(geometry.Point{val, 0}, []bool{true, false}, func(p geometry.Point, _ uint64) bool {
+		if p[0] != val {
+			t.Fatalf("non-matching point %v", p)
+		}
+		n++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != matching {
+		t.Fatalf("partial match found %d, want %d", n, matching)
+	}
+}
+
+func TestSlotReuse(t *testing.T) {
+	ix, _ := New(Options{Dims: 2})
+	p := geometry.Point{1, 2}
+	for i := 0; i < 100; i++ {
+		if err := ix.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if ok, _ := ix.Delete(p, uint64(i)); !ok {
+			t.Fatal("delete failed")
+		}
+	}
+	if len(ix.recs) > 2 {
+		t.Fatalf("record heap grew to %d despite free list", len(ix.recs))
+	}
+}

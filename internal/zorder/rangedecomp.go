@@ -1,0 +1,127 @@
+package zorder
+
+import (
+	"bvtree/internal/geometry"
+	"fmt"
+)
+
+// KeyRange is a closed interval [Lo, Hi] of 64-bit Z-order keys.
+type KeyRange struct {
+	Lo, Hi uint64
+}
+
+// DecomposeRect covers the query rectangle with at most maxRanges disjoint
+// Z-key intervals. Every point inside the rectangle has its Z-key inside
+// one of the returned intervals; points outside may also fall inside
+// (intervals are a superset cover when the budget truncates the recursion),
+// so callers must post-filter candidate points against the rectangle.
+//
+// The decomposition walks the implicit binary partition of the data space
+// (the same partitioning the BV-tree uses): a prefix whose brick lies
+// entirely inside the rectangle contributes one exact interval; a prefix
+// whose brick is disjoint from it contributes nothing; partial overlaps
+// recurse until either the address bits are exhausted or the range budget
+// forces the remaining sub-problem to be emitted as a single covering
+// interval.
+func DecomposeRect(il *Interleaver, rect geometry.Rect, maxRanges int) ([]KeyRange, error) {
+	if rect.Dims() != il.dims {
+		return nil, fmt.Errorf("zorder: rect has %d dims, interleaver expects %d", rect.Dims(), il.dims)
+	}
+	if maxRanges < 1 {
+		maxRanges = 1
+	}
+	d := &decomposer{il: il, rect: rect, budget: maxRanges}
+	brick := geometry.UniverseRect(il.dims)
+	maxBits := il.TotalBits()
+	if maxBits > 64 {
+		maxBits = 64
+	}
+	d.walk(brick, 0, 0, maxBits)
+	out := coalesce(d.out)
+	// The walk's budget check is a coarse recursion bound; enforce the
+	// exact budget by merging the adjacent pair with the smallest gap
+	// until it fits. Merging only widens the cover, so soundness (every
+	// inside point covered) is preserved and the caller's post-filter
+	// removes the extra candidates.
+	for len(out) > maxRanges {
+		best, bestGap := 1, ^uint64(0)
+		for i := 1; i < len(out); i++ {
+			gap := out[i].Lo - out[i-1].Hi
+			if gap < bestGap {
+				best, bestGap = i, gap
+			}
+		}
+		out[best-1].Hi = out[best].Hi
+		out = append(out[:best], out[best+1:]...)
+	}
+	return out, nil
+}
+
+type decomposer struct {
+	il     *Interleaver
+	rect   geometry.Rect
+	budget int
+	out    []KeyRange
+}
+
+// walk visits the partition node identified by the depth-bit prefix packed
+// into the high bits of prefix, whose brick is given.
+func (d *decomposer) walk(brick geometry.Rect, prefix uint64, depth, maxBits int) {
+	if !d.rect.Intersects(brick) {
+		return
+	}
+	full := prefixRange(prefix, depth)
+	if d.rect.ContainsRect(brick) || depth == maxBits {
+		d.out = append(d.out, full)
+		return
+	}
+	// Emitting a covering interval costs 1 range; recursing can cost 2.
+	// When the budget cannot afford further subdivision, emit the cover.
+	if d.budget-len(d.out) <= 1 {
+		d.out = append(d.out, full)
+		return
+	}
+	dim := depth % d.il.dims
+	level := depth / d.il.dims // how many bits of this dimension already fixed
+	// Split the brick along dim at the midpoint implied by the next bit.
+	span := brick.Max[dim] - brick.Min[dim] // always 2^k - 1 here
+	_ = level
+	half := span/2 + 1 // 2^(k-1)
+	lowBrick := brick.Clone()
+	lowBrick.Max[dim] = brick.Min[dim] + half - 1
+	highBrick := brick.Clone()
+	highBrick.Min[dim] = brick.Min[dim] + half
+
+	d.walk(lowBrick, prefix, depth+1, maxBits)
+	d.walk(highBrick, prefix|1<<uint(63-depth), depth+1, maxBits)
+}
+
+// prefixRange returns the Z-key interval covered by a depth-bit prefix.
+func prefixRange(prefix uint64, depth int) KeyRange {
+	if depth == 0 {
+		return KeyRange{Lo: 0, Hi: ^uint64(0)}
+	}
+	mask := ^uint64(0) >> uint(depth)
+	if depth >= 64 {
+		mask = 0
+	}
+	return KeyRange{Lo: prefix, Hi: prefix | mask}
+}
+
+// coalesce merges adjacent intervals, which the depth-first walk emits in
+// ascending order.
+func coalesce(in []KeyRange) []KeyRange {
+	if len(in) == 0 {
+		return in
+	}
+	out := in[:1]
+	for _, r := range in[1:] {
+		last := &out[len(out)-1]
+		if last.Hi != ^uint64(0) && r.Lo == last.Hi+1 {
+			last.Hi = r.Hi
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package zorder
+
+import (
+	"math/rand"
+	"testing"
+
+	"bvtree/internal/geometry"
+)
+
+func TestDecomposeRectCoversAllInsidePoints(t *testing.T) {
+	for _, dims := range []int{1, 2, 3} {
+		il, err := NewInterleaver(dims, 64/dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(dims)))
+		for trial := 0; trial < 50; trial++ {
+			rect := randRect(rng, dims)
+			ranges, err := DecomposeRect(il, rect, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ranges) == 0 {
+				t.Fatal("no ranges for a non-empty rect")
+			}
+			// Ranges must be sorted, disjoint and non-adjacent (coalesced).
+			for i := 1; i < len(ranges); i++ {
+				if ranges[i].Lo <= ranges[i-1].Hi {
+					t.Fatalf("ranges overlap or unsorted: %v", ranges)
+				}
+				if ranges[i].Lo == ranges[i-1].Hi+1 {
+					t.Fatalf("adjacent ranges not coalesced: %v", ranges)
+				}
+			}
+			// Soundness: every point inside the rect has its key covered.
+			for i := 0; i < 200; i++ {
+				p := make(geometry.Point, dims)
+				for d := 0; d < dims; d++ {
+					span := rect.Max[d] - rect.Min[d]
+					off := rng.Uint64()
+					if span != ^uint64(0) {
+						off %= span + 1
+					}
+					p[d] = rect.Min[d] + off
+				}
+				if !rect.Contains(p) {
+					t.Fatal("generator bug")
+				}
+				key, err := il.Interleave64(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				covered := false
+				for _, r := range ranges {
+					if key >= r.Lo && key <= r.Hi {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					t.Fatalf("dims=%d trial=%d: key %x of inside point %v not covered by %v",
+						dims, trial, key, p, ranges)
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposeRectBudget(t *testing.T) {
+	il, _ := NewInterleaver(2, 32)
+	rng := rand.New(rand.NewSource(9))
+	for _, budget := range []int{1, 2, 4, 16, 128} {
+		for trial := 0; trial < 20; trial++ {
+			rect := randRect(rng, 2)
+			ranges, err := DecomposeRect(il, rect, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ranges) > budget {
+				t.Fatalf("budget %d exceeded: %d ranges", budget, len(ranges))
+			}
+		}
+	}
+	// Budget below 1 is clamped.
+	u := geometry.UniverseRect(2)
+	ranges, err := DecomposeRect(il, u, 0)
+	if err != nil || len(ranges) != 1 {
+		t.Fatalf("universe: %v %v", ranges, err)
+	}
+	if ranges[0].Lo != 0 || ranges[0].Hi != ^uint64(0) {
+		t.Fatalf("universe range = %v", ranges[0])
+	}
+}
+
+func TestDecomposeRectTightensWithBudget(t *testing.T) {
+	// Larger budgets must not increase the total covered key volume.
+	il, _ := NewInterleaver(2, 32)
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		rect := randRect(rng, 2)
+		var prev float64 = -1
+		for _, budget := range []int{1, 8, 64, 512} {
+			ranges, err := DecomposeRect(il, rect, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := 0.0
+			for _, r := range ranges {
+				total += float64(r.Hi - r.Lo)
+			}
+			if prev >= 0 && total > prev*1.0000001 {
+				t.Fatalf("coverage grew with budget %d: %v > %v", budget, total, prev)
+			}
+			prev = total
+		}
+	}
+}
+
+func TestDecomposeRectDimMismatch(t *testing.T) {
+	il, _ := NewInterleaver(2, 32)
+	if _, err := DecomposeRect(il, geometry.UniverseRect(3), 8); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func randRect(rng *rand.Rand, dims int) geometry.Rect {
+	min := make(geometry.Point, dims)
+	max := make(geometry.Point, dims)
+	for d := 0; d < dims; d++ {
+		a, b := rng.Uint64(), rng.Uint64()
+		if a > b {
+			a, b = b, a
+		}
+		min[d], max[d] = a, b
+	}
+	return geometry.Rect{Min: min, Max: max}
+}

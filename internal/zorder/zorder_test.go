@@ -1,0 +1,139 @@
+package zorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bvtree/internal/geometry"
+)
+
+func TestInterleaverValidation(t *testing.T) {
+	if _, err := NewInterleaver(0, 8); err == nil {
+		t.Fatal("dims 0 accepted")
+	}
+	if _, err := NewInterleaver(2, 0); err == nil {
+		t.Fatal("bits 0 accepted")
+	}
+	if _, err := NewInterleaver(2, 65); err == nil {
+		t.Fatal("bits 65 accepted")
+	}
+	il, err := NewInterleaver(3, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if il.TotalBits() != 63 || il.Dims() != 3 || il.BitsPerDim() != 21 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestInterleaveKnown2D(t *testing.T) {
+	il, _ := NewInterleaver(2, 2)
+	// x = 10..., y = 01... (top two bits per dim)
+	p := geometry.Point{1 << 63, 1 << 62}
+	a, err := il.Interleave(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleaved: x0 y0 x1 y1 = 1 0 0 1
+	if got := a.String(); got != "1001" {
+		t.Fatalf("address = %q, want 1001", got)
+	}
+}
+
+func TestInterleaveDimMismatch(t *testing.T) {
+	il, _ := NewInterleaver(2, 8)
+	if _, err := il.Interleave(geometry.Point{1}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestRoundTripFullPrecision(t *testing.T) {
+	il, _ := NewInterleaver(2, 64)
+	f := func(x, y uint64) bool {
+		p := geometry.Point{x, y}
+		a, err := il.Interleave(p)
+		if err != nil {
+			return false
+		}
+		q, err := il.Deinterleave(a)
+		if err != nil {
+			return false
+		}
+		return q.Equal(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripTruncated(t *testing.T) {
+	il, _ := NewInterleaver(3, 16)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		p := geometry.Point{rng.Uint64(), rng.Uint64(), rng.Uint64()}
+		a, _ := il.Interleave(p)
+		q, _ := il.Deinterleave(a)
+		for d := 0; d < 3; d++ {
+			if q[d]>>48 != p[d]>>48 {
+				t.Fatalf("kept bits differ: %x vs %x", q[d], p[d])
+			}
+			if q[d]&0xFFFFFFFFFFFF != 0 {
+				t.Fatalf("dropped bits nonzero: %x", q[d])
+			}
+		}
+	}
+}
+
+func TestCompareIsZOrder(t *testing.T) {
+	il, _ := NewInterleaver(2, 32)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		p := geometry.Point{uint64(rng.Uint32()) << 32, uint64(rng.Uint32()) << 32}
+		q := geometry.Point{uint64(rng.Uint32()) << 32, uint64(rng.Uint32()) << 32}
+		ap, _ := il.Interleave(p)
+		aq, _ := il.Interleave(q)
+		k1, _ := il.Interleave64(p)
+		k2, _ := il.Interleave64(q)
+		cmp := ap.Compare(aq)
+		switch {
+		case k1 < k2 && cmp != -1:
+			t.Fatalf("Compare=%d for k1<k2", cmp)
+		case k1 > k2 && cmp != 1:
+			t.Fatalf("Compare=%d for k1>k2", cmp)
+		case k1 == k2 && cmp != 0:
+			t.Fatalf("Compare=%d for equal keys", cmp)
+		}
+	}
+}
+
+func TestBitAccess(t *testing.T) {
+	il, _ := NewInterleaver(2, 4)
+	p := geometry.Point{0xF << 60, 0}
+	a, _ := il.Interleave(p)
+	want := "10101010"
+	if a.String() != want {
+		t.Fatalf("address %q, want %q", a.String(), want)
+	}
+	if a.Bit(-1) != 0 || a.Bit(100) != 0 {
+		t.Fatal("out-of-range bits not zero")
+	}
+	if a.Len() != 8 {
+		t.Fatalf("Len=%d", a.Len())
+	}
+}
+
+func TestKey64PrefixOfLongAddress(t *testing.T) {
+	// For >64 total bits, Key64 is the first 64 interleaved bits.
+	il, _ := NewInterleaver(3, 32) // 96 bits
+	p := geometry.Point{^uint64(0), 0, ^uint64(0)}
+	a, _ := il.Interleave(p)
+	k := a.Key64()
+	for i := 0; i < 64; i++ {
+		want := uint64(a.Bit(i))
+		got := (k >> uint(63-i)) & 1
+		if got != want {
+			t.Fatalf("bit %d: key %d addr %d", i, got, want)
+		}
+	}
+}
