@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: verify race torture fuzz bench
+
+# The standard verification gate: static checks, build, full test suite.
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Full suite under the race detector.
+race:
+	$(GO) test -race ./...
+
+# The crash-safety torture harness on its own, verbosely: sweeps injected
+# crashes and bit-flips across every file operation of a scripted
+# insert/delete/checkpoint workload (internal/fault + internal/bvtree).
+torture:
+	$(GO) test -run 'TestTorture|TestCrash|TestSyncCrashSweep' -v ./internal/bvtree ./internal/storage
+
+# Coverage-guided fuzzing of WAL recovery.
+fuzz:
+	$(GO) test -fuzz=FuzzReplay -fuzztime=30s ./internal/wal
+
+bench:
+	$(GO) test -bench . -benchmem ./...

@@ -1,0 +1,255 @@
+package bvtree
+
+// Crash-point matrix: one targeted test per stage of the durable update
+// protocol, each pinning down what must survive. The torture sweep in
+// torture_test.go covers these points statistically; the matrix makes
+// each contractual boundary an explicit, named assertion.
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"bvtree/internal/fault"
+	"bvtree/internal/geometry"
+	"bvtree/internal/storage"
+	"bvtree/internal/vfs"
+	"bvtree/internal/wal"
+)
+
+// matrixEnv is a durable tree whose store file and WAL file sit behind
+// separate fault filesystems, so a fault can be aimed at one side of the
+// protocol precisely.
+type matrixEnv struct {
+	dir              string
+	storeFS, walFS   *fault.FS
+	st               *storage.FileStore
+	d                *DurableTree
+	base             []geometry.Point // baseline items, payload = index
+}
+
+func newMatrixEnv(t *testing.T) *matrixEnv {
+	t.Helper()
+	e := &matrixEnv{
+		dir:     t.TempDir(),
+		storeFS: fault.NewFS(vfs.OS{}, fault.Plan{}),
+		walFS:   fault.NewFS(vfs.OS{}, fault.Plan{}),
+	}
+	var err error
+	e.st, err = storage.CreateFileStore(filepath.Join(e.dir, "t.db"),
+		storage.FileStoreOptions{SlotSize: 256, PoolSlots: 64, PinDirty: true, FS: e.storeFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.OpenFS(e.walFS, filepath.Join(e.dir, "t.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.d, err = NewDurableLog(e.st, l, Options{Dims: 2, DataCapacity: 8, Fanout: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 40; i++ {
+		p := clusteredPoint(rng, 2)
+		if err := e.d.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		e.base = append(e.base, p)
+	}
+	if err := e.d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// reopen abandons the crashed state and reopens it with the real
+// filesystem, asserting every baseline item survived.
+func (e *matrixEnv) reopen(t *testing.T) *DurableTree {
+	t.Helper()
+	e.storeFS.CloseAll()
+	e.walFS.CloseAll()
+	st, err := storage.OpenFileStore(filepath.Join(e.dir, "t.db"), storage.FileStoreOptions{PinDirty: true})
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	d, err := OpenDurable(st, filepath.Join(e.dir, "t.wal"), 0)
+	if err != nil {
+		t.Fatalf("reopen tree: %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	if err := d.Validate(true); err != nil {
+		t.Fatalf("invariants after recovery: %v", err)
+	}
+	for i, p := range e.base {
+		found, err := contains(d.Tree, p, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("baseline item %d lost", i)
+		}
+	}
+	return d
+}
+
+func (e *matrixEnv) mustContain(t *testing.T, d *DurableTree, p geometry.Point, payload uint64, want bool) {
+	t.Helper()
+	found, err := contains(d.Tree, p, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found != want {
+		t.Fatalf("payload %d present=%v after recovery, want %v", payload, found, want)
+	}
+}
+
+var matrixTarget = geometry.Point{1 << 40, 1 << 41}
+
+const matrixPayload = 999
+
+// Crash before the WAL append reaches the file: the operation was never
+// acknowledged and must leave no trace.
+func TestCrashBeforeWALAppend(t *testing.T) {
+	e := newMatrixEnv(t)
+	e.walFS.SetPlan(fault.Plan{InjectAt: e.walFS.Ops() + 1, Mode: fault.ModeError})
+	if err := e.d.Insert(matrixTarget, matrixPayload); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("insert err = %v, want injected", err)
+	}
+	d := e.reopen(t)
+	e.mustContain(t, d, matrixTarget, matrixPayload, false)
+	if d.Len() != len(e.base) {
+		t.Fatalf("Len=%d, want %d", d.Len(), len(e.base))
+	}
+}
+
+// Crash after the append's write but before its fsync: the record is in
+// the file (this harness models completed writes as persistent), so
+// recovery replays it — the operation is atomically present.
+func TestCrashAfterWALAppendBeforeSync(t *testing.T) {
+	e := newMatrixEnv(t)
+	e.walFS.SetPlan(fault.Plan{InjectAt: e.walFS.Ops() + 2, Mode: fault.ModeError})
+	if err := e.d.Insert(matrixTarget, matrixPayload); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("insert err = %v, want injected", err)
+	}
+	d := e.reopen(t)
+	e.mustContain(t, d, matrixTarget, matrixPayload, true)
+	if d.Len() != len(e.base)+1 {
+		t.Fatalf("Len=%d, want %d", d.Len(), len(e.base)+1)
+	}
+}
+
+// The append's write itself is torn: recovery truncates the partial
+// record as a torn tail and the operation vanishes atomically.
+func TestCrashTornWALAppend(t *testing.T) {
+	e := newMatrixEnv(t)
+	e.walFS.SetPlan(fault.Plan{InjectAt: e.walFS.Ops() + 1, Mode: fault.ModeTorn, Seed: 9})
+	if err := e.d.Insert(matrixTarget, matrixPayload); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("insert err = %v, want injected", err)
+	}
+	d := e.reopen(t)
+	e.mustContain(t, d, matrixTarget, matrixPayload, false)
+	if d.Len() != len(e.base) {
+		t.Fatalf("Len=%d, want %d", d.Len(), len(e.base))
+	}
+}
+
+// Crash after the WAL record is durable but before the in-memory apply
+// completes: the operation was effectively acknowledged by the log, so
+// recovery must replay it. The fault here is injected at the logical
+// store level with fault.Store rather than at the filesystem.
+func TestCrashAfterSyncBeforeApply(t *testing.T) {
+	dir := t.TempDir()
+	inner, err := storage.CreateFileStore(filepath.Join(dir, "t.db"),
+		storage.FileStoreOptions{SlotSize: 256, PoolSlots: 64, PinDirty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fst := fault.NewStore(inner, 0)
+	d, err := NewDurable(fst, filepath.Join(dir, "t.wal"), Options{Dims: 2, DataCapacity: 8, Fanout: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(78))
+	base := make([]geometry.Point, 40)
+	for i := range base {
+		base[i] = clusteredPoint(rng, 2)
+		if err := d.Insert(base[i], uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	fst.Arm() // next logical store operation fails
+	if err := d.Insert(matrixTarget, matrixPayload); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("insert err = %v, want injected", err)
+	}
+	inner.Close() // PinDirty: disk still holds the checkpoint exactly
+
+	st2, err := storage.OpenFileStore(filepath.Join(dir, "t.db"), storage.FileStoreOptions{PinDirty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	re, err := OpenDurable(st2, filepath.Join(dir, "t.wal"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	found, err := contains(re.Tree, matrixTarget, matrixPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("operation durable in the WAL was lost because its apply crashed")
+	}
+	if re.Len() != len(base)+1 {
+		t.Fatalf("Len=%d, want %d", re.Len(), len(base)+1)
+	}
+}
+
+// Crash mid-checkpoint, swept across every file operation the checkpoint
+// performs: the failed store is poisoned (ErrPoisoned on further use) and
+// recovery always lands on a state containing every acknowledged
+// operation — either the rolled-back previous checkpoint plus a WAL
+// replay, or the new checkpoint with the log discarded by the epoch
+// check.
+func TestCrashMidCheckpoint(t *testing.T) {
+	for k := 1; ; k++ {
+		e := newMatrixEnv(t)
+		// Post-checkpoint operations that the mid-checkpoint crash must not
+		// lose.
+		extra := []geometry.Point{{5, 6}, {7, 8}, {9, 10}}
+		for i, p := range extra {
+			if err := e.d.Insert(p, uint64(100+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.storeFS.SetPlan(fault.Plan{InjectAt: e.storeFS.Ops() + k, Mode: fault.ModeError})
+		err := e.d.Checkpoint()
+		if err == nil {
+			// The injection point lies beyond the checkpoint's I/O: the
+			// whole protocol has been swept.
+			if k < 4 {
+				t.Fatalf("checkpoint performed only %d file operations", k-1)
+			}
+			t.Logf("swept %d mid-checkpoint crash points", k-1)
+			return
+		}
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("k=%d: checkpoint err = %v, want injected", k, err)
+		}
+		// The store must now be poisoned: its pool/file relationship is
+		// unknown and further writes could corrupt the checkpoint.
+		if err := e.d.Insert(geometry.Point{11, 12}, 200); !errors.Is(err, storage.ErrPoisoned) && !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("k=%d: insert on crashed store err = %v, want ErrPoisoned or injected", k, err)
+		}
+		d := e.reopen(t) // asserts all baseline items survived
+		for i, p := range extra {
+			e.mustContain(t, d, p, uint64(100+i), true)
+		}
+	}
+}

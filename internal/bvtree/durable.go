@@ -3,6 +3,7 @@ package bvtree
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"bvtree/internal/geometry"
 	"bvtree/internal/storage"
@@ -14,23 +15,40 @@ import (
 // applied, and Checkpoint persists the tree and empties the log. Opening
 // after a crash replays the operations logged since the last checkpoint
 // onto the checkpointed tree state, so no acknowledged update is lost.
+//
+// The durability contract, which internal/fault's torture harness sweeps
+// exhaustively: an operation that returned nil survives any crash; the
+// single operation in flight at a crash either happened completely or not
+// at all; operations never attempted leave no trace. Checkpoints are tied
+// to the store by an epoch number — recovery replays the log only when
+// its epoch matches the store's, so a crash between the checkpoint flush
+// and the log reset cannot double-apply records.
 type DurableTree struct {
 	*Tree
+	mu  sync.Mutex // serialises log access across Insert/Delete/Checkpoint/Close
 	log *wal.Log
 }
 
 // NewDurable creates a durable tree over a fresh store, logging to
 // walPath.
 func NewDurable(st storage.Store, walPath string, opt Options) (*DurableTree, error) {
-	tr, err := NewPaged(st, opt)
-	if err != nil {
-		return nil, err
-	}
 	l, err := wal.Open(walPath)
 	if err != nil {
 		return nil, err
 	}
-	if err := l.Reset(); err != nil {
+	return NewDurableLog(st, l, opt)
+}
+
+// NewDurableLog is NewDurable over an already-open log (e.g. one opened
+// through a fault-injecting filesystem). The tree takes ownership of the
+// log, closing it on error.
+func NewDurableLog(st storage.Store, l *wal.Log, opt Options) (*DurableTree, error) {
+	tr, err := NewPaged(st, opt)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	if err := l.Reset(tr.Epoch()); err != nil {
 		l.Close()
 		return nil, err
 	}
@@ -40,18 +58,39 @@ func NewDurable(st storage.Store, walPath string, opt Options) (*DurableTree, er
 // OpenDurable reopens a durable tree: the checkpointed state is loaded
 // from the store and any operations logged after it are replayed.
 func OpenDurable(st storage.Store, walPath string, cacheNodes int) (*DurableTree, error) {
-	tr, err := OpenPaged(st, cacheNodes)
-	if err != nil {
-		return nil, err
-	}
 	l, err := wal.Open(walPath)
 	if err != nil {
 		return nil, err
 	}
-	d := &DurableTree{Tree: tr, log: l}
-	if err := l.Replay(func(rec []byte) error { return d.apply(rec) }); err != nil {
+	return OpenDurableLog(st, l, cacheNodes)
+}
+
+// OpenDurableLog is OpenDurable over an already-open log. The tree takes
+// ownership of the log, closing it on error.
+func OpenDurableLog(st storage.Store, l *wal.Log, cacheNodes int) (*DurableTree, error) {
+	tr, err := OpenPaged(st, cacheNodes)
+	if err != nil {
 		l.Close()
-		return nil, fmt.Errorf("bvtree: wal replay: %w", err)
+		return nil, err
+	}
+	d := &DurableTree{Tree: tr, log: l}
+	switch {
+	case l.Epoch() == tr.Epoch():
+		if err := l.Replay(func(rec []byte) error { return d.apply(rec) }); err != nil {
+			l.Close()
+			return nil, fmt.Errorf("bvtree: wal replay: %w", err)
+		}
+	case l.Epoch() < tr.Epoch():
+		// Every record in the log predates the store's checkpoint: the
+		// crash hit between the checkpoint flush and the log reset.
+		// Replaying would double-apply; discard instead.
+		if err := l.Reset(tr.Epoch()); err != nil {
+			l.Close()
+			return nil, err
+		}
+	default:
+		l.Close()
+		return nil, fmt.Errorf("bvtree: %w: wal epoch %d ahead of store checkpoint epoch %d", wal.ErrCorrupt, l.Epoch(), tr.Epoch())
 	}
 	return d, nil
 }
@@ -97,6 +136,8 @@ func (d *DurableTree) apply(rec []byte) error {
 
 // Insert logs the operation durably, then applies it.
 func (d *DurableTree) Insert(p geometry.Point, payload uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.log.Append(encodeOp(opInsert, p, payload)); err != nil {
 		return err
 	}
@@ -108,6 +149,8 @@ func (d *DurableTree) Insert(p geometry.Point, payload uint64) error {
 
 // Delete logs the operation durably, then applies it.
 func (d *DurableTree) Delete(p geometry.Point, payload uint64) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.log.Append(encodeOp(opDelete, p, payload)); err != nil {
 		return false, err
 	}
@@ -117,23 +160,40 @@ func (d *DurableTree) Delete(p geometry.Point, payload uint64) (bool, error) {
 	return d.Tree.Delete(p, payload)
 }
 
-// Checkpoint persists the tree state and empties the log. After a
-// successful checkpoint, recovery starts from this state.
+// Checkpoint persists the tree state under a new checkpoint epoch and
+// empties the log. After a successful checkpoint, recovery starts from
+// this state. The ordering is crash-safe at every point: the store flush
+// is atomic (rollback journal), and the log is only reset after the new
+// epoch is durable in the store — a crash in between leaves the log one
+// epoch behind, which recovery recognises and discards.
 func (d *DurableTree) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.checkpointLocked()
+}
+
+func (d *DurableTree) checkpointLocked() error {
+	d.Tree.advanceEpoch()
 	if err := d.Tree.Flush(); err != nil {
 		return err
 	}
-	return d.log.Reset()
+	return d.log.Reset(d.Tree.Epoch())
 }
 
 // LogSize returns the bytes of operations logged since the last
 // checkpoint.
-func (d *DurableTree) LogSize() int64 { return d.log.Size() }
+func (d *DurableTree) LogSize() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log.Size()
+}
 
 // Close checkpoints and closes the log. The page store remains the
 // caller's to close.
 func (d *DurableTree) Close() error {
-	if err := d.Checkpoint(); err != nil {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkpointLocked(); err != nil {
 		d.log.Close()
 		return err
 	}

@@ -108,6 +108,7 @@ type Tree struct {
 	root      page.ID
 	rootLevel int // index level of the root; 0 while the root is a data page
 	size      int
+	epoch     uint64 // checkpoint epoch of a paged tree (see page.Meta.Epoch)
 
 	stats OpStats
 	paged *pagedNodes // non-nil when backed by a storage.Store
@@ -147,6 +148,7 @@ func NewPaged(st storage.Store, opt Options) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.epoch = 1
 	return t, t.Flush()
 }
 
@@ -187,6 +189,7 @@ func OpenPaged(st storage.Store, cacheNodes int) (*Tree, error) {
 		root:      m.Root,
 		rootLevel: m.RootLevel,
 		size:      int(m.Size),
+		epoch:     m.Epoch,
 	}, nil
 }
 
@@ -208,6 +211,7 @@ func (t *Tree) Flush() error {
 		Root:         t.root,
 		RootLevel:    t.rootLevel,
 		Size:         uint64(t.size),
+		Epoch:        t.epoch,
 	}
 	if err := t.bst.WriteNode(metaPageID, page.EncodeMeta(m)); err != nil {
 		return err
@@ -228,6 +232,22 @@ func newTree(ns NodeStore, pn *pagedNodes, bst storage.Store, opt Options) (*Tre
 	t.root = id
 	t.rootLevel = 0
 	return t, nil
+}
+
+// Epoch returns the checkpoint epoch last persisted to (or loaded from)
+// the store's metadata page; 0 for in-memory trees.
+func (t *Tree) Epoch() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
+}
+
+// advanceEpoch increments the checkpoint epoch; the caller must Flush to
+// make it durable.
+func (t *Tree) advanceEpoch() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.epoch++
 }
 
 // Len returns the number of stored items.

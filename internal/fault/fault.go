@@ -1,0 +1,308 @@
+// Package fault provides deterministic fault injection for the durable
+// stack. FS wraps a vfs.FS and counts every mutating file operation
+// (write, truncate, fsync) across all files it has opened; a seeded Plan
+// names the Nth such operation and what happens to it:
+//
+//   - ModeError: the operation fails cleanly and nothing reaches the file;
+//     the filesystem then "goes down" — every later operation fails too,
+//     which models a process crash at that instant.
+//   - ModeTorn: the operation persists only a seeded prefix of its buffer
+//     before failing, then the filesystem goes down — a torn write.
+//   - ModeFlip: the operation silently persists with one seeded bit
+//     flipped and the filesystem stays up — latent media corruption.
+//
+// Because the op counter is global across files, sweeping InjectAt over
+// 1..Ops() visits every write the workload performs, in order, including
+// interleavings between the page store and the WAL. Store wraps a
+// storage.Store the same way at the logical-operation level.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+
+	"bvtree/internal/vfs"
+)
+
+// ErrInjected is the root of every error returned by an injected fault.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Mode selects what happens at the injection point.
+type Mode int
+
+// Injection modes.
+const (
+	// ModeError fails the target operation without side effects and takes
+	// the filesystem down.
+	ModeError Mode = iota
+	// ModeTorn persists a strict prefix of the target write, fails it, and
+	// takes the filesystem down. Non-write operations degrade to ModeError.
+	ModeTorn
+	// ModeFlip flips one bit of the target write's buffer and lets it
+	// succeed; the filesystem stays up. Non-write operations are unaffected
+	// (the plan fizzles).
+	ModeFlip
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModeTorn:
+		return "torn"
+	case ModeFlip:
+		return "flip"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Plan is a deterministic fault schedule: inject Mode at the InjectAt-th
+// mutating operation (1-based). InjectAt == 0 never injects, which turns
+// FS into a pure op counter for sizing a sweep. Seed drives the torn-write
+// length and the flipped bit position.
+type Plan struct {
+	InjectAt int
+	Mode     Mode
+	Seed     int64
+}
+
+// FS is a fault-injecting vfs.FS. All files opened through it share one
+// mutating-op counter and one plan.
+type FS struct {
+	inner vfs.FS
+
+	mu       sync.Mutex
+	plan     Plan
+	rng      *rand.Rand
+	ops      int
+	down     bool
+	injected bool
+	injPath  string
+	files    []vfs.File
+}
+
+// NewFS wraps inner with the given plan.
+func NewFS(inner vfs.FS, plan Plan) *FS {
+	return &FS{inner: inner, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// SetPlan replaces the plan (e.g. to arm an injection relative to Ops()
+// mid-workload). The op counter keeps running; a downed filesystem stays
+// down.
+func (f *FS) SetPlan(plan Plan) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.plan = plan
+	f.rng = rand.New(rand.NewSource(plan.Seed))
+}
+
+// Ops returns the number of mutating operations observed so far.
+func (f *FS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Injected reports whether the plan's fault has fired.
+func (f *FS) Injected() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// InjectedPath returns the path of the file whose operation the fault hit
+// ("" if the fault has not fired).
+func (f *FS) InjectedPath() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injPath
+}
+
+// CloseAll closes the underlying descriptors of every file opened through
+// this FS, without flushing anything. A crash-simulation harness abandons
+// its store and log objects mid-flight; this reclaims their descriptors.
+func (f *FS) CloseAll() {
+	f.mu.Lock()
+	files := f.files
+	f.files = nil
+	f.mu.Unlock()
+	for _, fl := range files {
+		fl.Close()
+	}
+}
+
+// OpenFile implements vfs.FS.
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (vfs.File, error) {
+	f.mu.Lock()
+	down := f.down
+	f.mu.Unlock()
+	if down {
+		return nil, fmt.Errorf("open %s: %w", name, ErrInjected)
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.files = append(f.files, inner)
+	f.mu.Unlock()
+	return &file{fs: f, inner: inner, name: name}, nil
+}
+
+// decision is the outcome of gating one mutating op.
+type decision struct {
+	mode   Mode
+	inject bool
+	keep   int // ModeTorn: bytes of the buffer to persist
+	bit    int // ModeFlip: bit index into the buffer
+}
+
+// gate accounts one mutating operation of n buffer bytes on the named
+// file and decides its fate. n == 0 for truncate/sync.
+func (f *FS) gate(n int, name string) (decision, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down {
+		return decision{}, ErrInjected
+	}
+	f.ops++
+	if f.plan.InjectAt == 0 || f.ops != f.plan.InjectAt {
+		return decision{}, nil
+	}
+	f.injected = true
+	f.injPath = name
+	d := decision{mode: f.plan.Mode, inject: true}
+	switch f.plan.Mode {
+	case ModeTorn:
+		if n > 0 {
+			d.keep = f.rng.Intn(n) // strict prefix, possibly empty
+		}
+		f.down = true
+	case ModeFlip:
+		if n == 0 {
+			d.inject = false // nothing to corrupt; fizzle
+		} else {
+			d.bit = f.rng.Intn(n * 8)
+		}
+	default: // ModeError
+		f.down = true
+	}
+	return d, nil
+}
+
+// passRead gates a non-mutating operation: it only checks for a downed
+// filesystem and does not advance the op counter.
+func (f *FS) passRead() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down {
+		return ErrInjected
+	}
+	return nil
+}
+
+type file struct {
+	fs    *FS
+	inner vfs.File
+	name  string
+}
+
+func (w *file) Read(p []byte) (int, error) {
+	if err := w.fs.passRead(); err != nil {
+		return 0, err
+	}
+	return w.inner.Read(p)
+}
+
+func (w *file) ReadAt(p []byte, off int64) (int, error) {
+	if err := w.fs.passRead(); err != nil {
+		return 0, err
+	}
+	return w.inner.ReadAt(p, off)
+}
+
+func (w *file) Seek(offset int64, whence int) (int64, error) {
+	if err := w.fs.passRead(); err != nil {
+		return 0, err
+	}
+	return w.inner.Seek(offset, whence)
+}
+
+func (w *file) Stat() (os.FileInfo, error) {
+	if err := w.fs.passRead(); err != nil {
+		return nil, err
+	}
+	return w.inner.Stat()
+}
+
+func (w *file) Write(p []byte) (int, error) {
+	d, err := w.fs.gate(len(p), w.name)
+	if err != nil {
+		return 0, fmt.Errorf("write %s: %w", w.name, err)
+	}
+	if !d.inject {
+		return w.inner.Write(p)
+	}
+	switch d.mode {
+	case ModeTorn:
+		n, _ := w.inner.Write(p[:d.keep])
+		return n, fmt.Errorf("torn write %s (%d of %d bytes): %w", w.name, d.keep, len(p), ErrInjected)
+	case ModeFlip:
+		q := append([]byte(nil), p...)
+		q[d.bit/8] ^= 1 << (d.bit % 8)
+		return w.inner.Write(q)
+	default:
+		return 0, fmt.Errorf("write %s: %w", w.name, ErrInjected)
+	}
+}
+
+func (w *file) WriteAt(p []byte, off int64) (int, error) {
+	d, err := w.fs.gate(len(p), w.name)
+	if err != nil {
+		return 0, fmt.Errorf("write %s: %w", w.name, err)
+	}
+	if !d.inject {
+		return w.inner.WriteAt(p, off)
+	}
+	switch d.mode {
+	case ModeTorn:
+		n, _ := w.inner.WriteAt(p[:d.keep], off)
+		return n, fmt.Errorf("torn write %s (%d of %d bytes): %w", w.name, d.keep, len(p), ErrInjected)
+	case ModeFlip:
+		q := append([]byte(nil), p...)
+		q[d.bit/8] ^= 1 << (d.bit % 8)
+		return w.inner.WriteAt(q, off)
+	default:
+		return 0, fmt.Errorf("write %s: %w", w.name, ErrInjected)
+	}
+}
+
+func (w *file) Truncate(size int64) error {
+	d, err := w.fs.gate(0, w.name)
+	if err != nil {
+		return fmt.Errorf("truncate %s: %w", w.name, err)
+	}
+	if d.inject && d.mode != ModeFlip {
+		return fmt.Errorf("truncate %s: %w", w.name, ErrInjected)
+	}
+	return w.inner.Truncate(size)
+}
+
+func (w *file) Sync() error {
+	d, err := w.fs.gate(0, w.name)
+	if err != nil {
+		return fmt.Errorf("fsync %s: %w", w.name, err)
+	}
+	if d.inject && d.mode != ModeFlip {
+		return fmt.Errorf("fsync %s: %w", w.name, ErrInjected)
+	}
+	return w.inner.Sync()
+}
+
+// Close never injects: a crashed harness simply abandons its handles, and
+// letting Close through keeps file descriptors from leaking in sweeps.
+func (w *file) Close() error { return w.inner.Close() }

@@ -1,0 +1,114 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bvtree/internal/vfs"
+)
+
+func openFile(t *testing.T, fs vfs.FS, path string) vfs.File {
+	t.Helper()
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestErrorModeDownsFilesystem(t *testing.T) {
+	fs := NewFS(vfs.OS{}, Plan{InjectAt: 2, Mode: ModeError})
+	f := openFile(t, fs, filepath.Join(t.TempDir(), "a"))
+	defer fs.CloseAll()
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatalf("op 1 failed: %v", err)
+	}
+	if _, err := f.Write([]byte("two")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 2 err = %v, want ErrInjected", err)
+	}
+	// Everything after the crash fails, reads included.
+	if _, err := f.Write([]byte("three")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash write err = %v", err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash read err = %v", err)
+	}
+	if !fs.Injected() {
+		t.Fatal("Injected() false after firing")
+	}
+	// Only the pre-crash write reached the file.
+	data, _ := os.ReadFile(f.(*file).name)
+	if string(data) != "one" {
+		t.Fatalf("file contains %q", data)
+	}
+}
+
+func TestTornModeKeepsStrictPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn")
+	fs := NewFS(vfs.OS{}, Plan{InjectAt: 1, Mode: ModeTorn, Seed: 3})
+	f := openFile(t, fs, path)
+	defer fs.CloseAll()
+	payload := []byte("0123456789")
+	if _, err := f.WriteAt(payload, 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err = %v", err)
+	}
+	data, _ := os.ReadFile(path)
+	if len(data) >= len(payload) {
+		t.Fatalf("torn write persisted %d of %d bytes", len(data), len(payload))
+	}
+	if string(data) != string(payload[:len(data)]) {
+		t.Fatalf("torn write persisted non-prefix %q", data)
+	}
+}
+
+func TestFlipModeFlipsExactlyOneBit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flip")
+	fs := NewFS(vfs.OS{}, Plan{InjectAt: 1, Mode: ModeFlip, Seed: 5})
+	f := openFile(t, fs, path)
+	defer fs.CloseAll()
+	payload := []byte("0123456789")
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatalf("flip write failed: %v", err)
+	}
+	// The filesystem stays up.
+	if _, err := f.WriteAt([]byte("x"), 20); err != nil {
+		t.Fatalf("post-flip write failed: %v", err)
+	}
+	data, _ := os.ReadFile(path)
+	diff := 0
+	for i := range payload {
+		for b := 0; b < 8; b++ {
+			if (data[i]^payload[i])>>b&1 == 1 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits differ, want exactly 1", diff)
+	}
+	if fs.InjectedPath() != path {
+		t.Fatalf("InjectedPath = %q, want %q", fs.InjectedPath(), path)
+	}
+}
+
+func TestOpCountingIsDeterministic(t *testing.T) {
+	run := func() int {
+		dir := t.TempDir()
+		fs := NewFS(vfs.OS{}, Plan{})
+		f := openFile(t, fs, filepath.Join(dir, "a"))
+		g := openFile(t, fs, filepath.Join(dir, "b"))
+		defer fs.CloseAll()
+		f.Write([]byte("x"))
+		g.WriteAt([]byte("y"), 4)
+		f.Sync()
+		g.Truncate(0)
+		f.ReadAt(make([]byte, 1), 0) // reads don't count
+		return fs.Ops()
+	}
+	a, b := run(), run()
+	if a != b || a != 4 {
+		t.Fatalf("op counts %d, %d; want 4, 4", a, b)
+	}
+}

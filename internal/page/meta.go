@@ -16,6 +16,12 @@ type Meta struct {
 	Root         ID
 	RootLevel    int
 	Size         uint64
+	// Epoch is the checkpoint epoch: incremented by every durable
+	// checkpoint and mirrored in the WAL's preamble, so recovery can tell
+	// whether the log's records postdate the store state (replay them) or
+	// were already absorbed by a checkpoint that crashed before resetting
+	// the log (discard them).
+	Epoch uint64
 }
 
 // EncodeMeta serialises a tree metadata record.
@@ -33,6 +39,7 @@ func EncodeMeta(m *Meta) []byte {
 	w.u64(uint64(m.Root))
 	w.u32(uint32(m.RootLevel))
 	w.u64(m.Size)
+	w.u64(m.Epoch)
 	return w.finish()
 }
 
@@ -54,5 +61,6 @@ func DecodeMeta(b []byte) (*Meta, error) {
 	m.Root = ID(r.u64())
 	m.RootLevel = int(r.u32())
 	m.Size = r.u64()
+	m.Epoch = r.u64()
 	return m, r.err
 }

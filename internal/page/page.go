@@ -6,12 +6,18 @@ package page
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 
 	"bvtree/internal/geometry"
 	"bvtree/internal/region"
 )
+
+// ErrCorrupt is wrapped by every decoding error caused by a damaged page
+// image (bad checksum, bad magic, truncation), so storage-layer callers
+// can classify latent corruption with errors.Is.
+var ErrCorrupt = errors.New("page: corrupt page")
 
 // ID identifies a page within a store. Zero is never a valid page.
 type ID uint64
@@ -206,18 +212,18 @@ type reader struct {
 
 func newReader(b []byte) (*reader, error) {
 	if len(b) < 8 {
-		return nil, fmt.Errorf("page: truncated page (%d bytes)", len(b))
+		return nil, fmt.Errorf("%w: truncated page (%d bytes)", ErrCorrupt, len(b))
 	}
 	body, sumBytes := b[:len(b)-4], b[len(b)-4:]
 	want := binary.LittleEndian.Uint32(sumBytes)
 	if got := crc32.Checksum(body, crcTable); got != want {
-		return nil, fmt.Errorf("page: checksum mismatch: got %08x want %08x", got, want)
+		return nil, fmt.Errorf("%w: checksum mismatch: got %08x want %08x", ErrCorrupt, got, want)
 	}
 	if binary.LittleEndian.Uint16(body) != magic {
-		return nil, fmt.Errorf("page: bad magic")
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	if body[3] != fmtVersion {
-		return nil, fmt.Errorf("page: unsupported format version %d", body[3])
+		return nil, fmt.Errorf("%w: unsupported format version %d", ErrCorrupt, body[3])
 	}
 	return &reader{buf: body, off: 4, kind: Kind(body[2])}, nil
 }
@@ -227,7 +233,7 @@ func (r *reader) need(n int) bool {
 		return false
 	}
 	if r.off+n > len(r.buf) {
-		r.err = fmt.Errorf("page: truncated at offset %d (need %d of %d)", r.off, n, len(r.buf))
+		r.err = fmt.Errorf("%w: truncated at offset %d (need %d of %d)", ErrCorrupt, r.off, n, len(r.buf))
 		return false
 	}
 	return true

@@ -1,0 +1,20 @@
+package storage
+
+import "errors"
+
+// Sentinel errors. Callers classify failures with errors.Is.
+var (
+	// ErrClosed is returned by operations on a closed store.
+	ErrClosed = errors.New("storage: store is closed")
+
+	// ErrCorrupt is returned when on-disk state fails validation: a bad
+	// header checksum, an out-of-range slot chain, a damaged free list.
+	ErrCorrupt = errors.New("storage: corrupt store")
+
+	// ErrPoisoned is returned by every operation after a write has failed.
+	// A failed write leaves the buffer pool and the file in an unknown
+	// relationship, so the store refuses to serve possibly-stale frames or
+	// compound the damage; the only way out is to reopen the store, which
+	// rolls back to the last durable checkpoint.
+	ErrPoisoned = errors.New("storage: store poisoned by earlier write failure")
+)

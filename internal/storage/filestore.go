@@ -1,12 +1,16 @@
 package storage
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
+	"sort"
 	"sync"
 
 	"bvtree/internal/page"
+	"bvtree/internal/vfs"
 )
 
 // FileStore is a file-backed Store. The file is an array of fixed-size
@@ -15,9 +19,24 @@ import (
 // chain more slots). Slot 0 holds the store header. Freed slots are linked
 // into an intrusive free list. An LRU buffer pool caches slot frames and
 // writes dirty frames back on eviction and on Sync.
+//
+// Crash safety: Sync is atomic. Before overwriting any slot it records the
+// old images in a rollback journal (path + ".journal"), fsyncs the
+// journal, writes the new slots, fsyncs, writes the checksummed header,
+// fsyncs, and only then invalidates the journal. Open rolls back a valid
+// journal before reading the header, so a crash anywhere inside Sync
+// recovers to exactly the pre-Sync state. With PinDirty (no eviction
+// write-back between Syncs) the disk therefore always holds exactly the
+// last completed Sync — the checkpoint discipline bvtree.DurableTree
+// builds on. After any failed write the store is poisoned: the pool/file
+// relationship is unknown, so every subsequent operation returns
+// ErrPoisoned until the store is reopened.
 type FileStore struct {
 	mu       sync.Mutex
-	f        *os.File
+	fs       vfs.FS
+	f        vfs.File
+	jf       vfs.File // rollback journal, created lazily on first Sync
+	path     string
 	slotSize int
 	nextSlot uint64
 	freeHead uint64
@@ -28,6 +47,7 @@ type FileStore struct {
 	frames   map[uint64]*frame
 	lru      frameList
 	closed   bool
+	poisoned error
 }
 
 type frame struct {
@@ -66,10 +86,13 @@ func (l *frameList) remove(f *frame) {
 
 const (
 	fileMagic      = 0xB7EEF11E00000001
+	fileVersion    = 2 // v2: checksummed header, rollback journal
 	slotHeaderSize = 12 // next slot (8) + fragment length (4)
 	minSlotSize    = 64
-	headerSize     = 40 // magic(8) + version(4) + slotSize(4) + nextSlot(8) + freeHead(8) + reserved(8)
+	headerSize     = 40 // magic(8) + version(4) + slotSize(4) + nextSlot(8) + freeHead(8) + crc(4) + reserved(4)
 )
+
+var storeCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // FileStoreOptions configures a FileStore.
 type FileStoreOptions struct {
@@ -83,6 +106,18 @@ type FileStoreOptions struct {
 	// synced state — the checkpoint discipline bvtree.DurableTree relies
 	// on. The pool may exceed PoolSlots while dirty frames accumulate.
 	PinDirty bool
+	// FS is the filesystem seam (default vfs.OS). Tests substitute a
+	// fault-injecting implementation.
+	FS vfs.FS
+}
+
+func (o *FileStoreOptions) fill() {
+	if o.PoolSlots <= 0 {
+		o.PoolSlots = 1024
+	}
+	if o.FS == nil {
+		o.FS = vfs.OS{}
+	}
 }
 
 // CreateFileStore creates a new store file, truncating any existing file.
@@ -93,15 +128,15 @@ func CreateFileStore(path string, opts FileStoreOptions) (*FileStore, error) {
 	if opts.SlotSize < minSlotSize {
 		return nil, fmt.Errorf("storage: slot size %d below minimum %d", opts.SlotSize, minSlotSize)
 	}
-	if opts.PoolSlots <= 0 {
-		opts.PoolSlots = 1024
-	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	opts.fill()
+	f, err := opts.FS.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: create %s: %w", path, err)
 	}
 	s := &FileStore{
+		fs:       opts.FS,
 		f:        f,
+		path:     path,
 		slotSize: opts.SlotSize,
 		nextSlot: 1,
 		freeHead: 0,
@@ -109,62 +144,147 @@ func CreateFileStore(path string, opts FileStoreOptions) (*FileStore, error) {
 		pinDirty: opts.PinDirty,
 		frames:   make(map[uint64]*frame),
 	}
-	if err := s.writeHeader(); err != nil {
+	if _, err := s.f.WriteAt(s.encodeHeader(), 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: write header: %w", err)
+	}
+	// A stale journal from a previous store at this path must not roll
+	// back the fresh file.
+	if err := s.openJournal(true); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return s, nil
 }
 
-// OpenFileStore opens an existing store file.
+// OpenFileStore opens an existing store file. A valid rollback journal
+// left by a crash mid-Sync is applied first, restoring the pre-Sync state.
 func OpenFileStore(path string, opts FileStoreOptions) (*FileStore, error) {
-	if opts.PoolSlots <= 0 {
-		opts.PoolSlots = 1024
-	}
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	opts.fill()
+	f, err := opts.FS.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", path, err)
 	}
+	s := &FileStore{
+		fs:     opts.FS,
+		f:      f,
+		path:   path,
+		cap:    opts.PoolSlots,
+		frames: make(map[uint64]*frame),
+	}
+	s.pinDirty = opts.PinDirty
+	if err := s.openJournal(false); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := s.rollbackJournal(); err != nil {
+		s.jf.Close()
+		f.Close()
+		return nil, err
+	}
 	hdr := make([]byte, headerSize)
 	if _, err := f.ReadAt(hdr, 0); err != nil {
+		s.jf.Close()
 		f.Close()
 		return nil, fmt.Errorf("storage: read header of %s: %w", path, err)
 	}
-	if binary.LittleEndian.Uint64(hdr) != fileMagic {
+	if err := s.decodeHeader(hdr); err != nil {
+		s.jf.Close()
 		f.Close()
-		return nil, fmt.Errorf("storage: %s is not a bvtree store", path)
+		return nil, fmt.Errorf("storage: %s: %w", path, err)
 	}
-	s := &FileStore{
-		f:        f,
-		slotSize: int(binary.LittleEndian.Uint32(hdr[12:])),
-		nextSlot: binary.LittleEndian.Uint64(hdr[16:]),
-		freeHead: binary.LittleEndian.Uint64(hdr[24:]),
-		cap:      opts.PoolSlots,
-		pinDirty: opts.PinDirty,
-		frames:   make(map[uint64]*frame),
-	}
-	if s.slotSize < minSlotSize {
+	if err := s.checkFreeList(); err != nil {
+		s.jf.Close()
 		f.Close()
-		return nil, fmt.Errorf("storage: corrupt header: slot size %d", s.slotSize)
+		return nil, fmt.Errorf("storage: %s: %w", path, err)
 	}
 	return s, nil
 }
 
-func (s *FileStore) writeHeader() error {
+func (s *FileStore) encodeHeader() []byte {
 	hdr := make([]byte, headerSize)
 	binary.LittleEndian.PutUint64(hdr, fileMagic)
-	binary.LittleEndian.PutUint32(hdr[8:], 1)
+	binary.LittleEndian.PutUint32(hdr[8:], fileVersion)
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(s.slotSize))
 	binary.LittleEndian.PutUint64(hdr[16:], s.nextSlot)
 	binary.LittleEndian.PutUint64(hdr[24:], s.freeHead)
-	if _, err := s.f.WriteAt(hdr, 0); err != nil {
-		return fmt.Errorf("storage: write header: %w", err)
+	binary.LittleEndian.PutUint32(hdr[32:], crc32.Checksum(hdr[:32], storeCRC))
+	return hdr
+}
+
+func (s *FileStore) decodeHeader(hdr []byte) error {
+	if binary.LittleEndian.Uint64(hdr) != fileMagic {
+		return fmt.Errorf("%w: not a bvtree store", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != fileVersion {
+		return fmt.Errorf("%w: unsupported store version %d", ErrCorrupt, v)
+	}
+	if got, want := crc32.Checksum(hdr[:32], storeCRC), binary.LittleEndian.Uint32(hdr[32:]); got != want {
+		return fmt.Errorf("%w: header checksum %08x, want %08x", ErrCorrupt, got, want)
+	}
+	s.slotSize = int(binary.LittleEndian.Uint32(hdr[12:]))
+	s.nextSlot = binary.LittleEndian.Uint64(hdr[16:])
+	s.freeHead = binary.LittleEndian.Uint64(hdr[24:])
+	if s.slotSize < minSlotSize {
+		return fmt.Errorf("%w: slot size %d", ErrCorrupt, s.slotSize)
+	}
+	if s.nextSlot < 1 {
+		return fmt.Errorf("%w: next slot %d", ErrCorrupt, s.nextSlot)
+	}
+	return nil
+}
+
+// checkFreeList walks the free chain and rejects out-of-range links and
+// cycles, so that latent corruption of an unchecksummed free-list link is
+// caught at open rather than silently handing out a live slot later.
+func (s *FileStore) checkFreeList() error {
+	seen := uint64(0)
+	buf := make([]byte, 8)
+	for slot := s.freeHead; slot != 0; {
+		if slot >= s.nextSlot {
+			return fmt.Errorf("%w: free list links to slot %d beyond end %d", ErrCorrupt, slot, s.nextSlot)
+		}
+		if seen++; seen >= s.nextSlot {
+			return fmt.Errorf("%w: free list cycle", ErrCorrupt)
+		}
+		if _, err := s.f.ReadAt(buf, int64(slot)*int64(s.slotSize)); err != nil {
+			return fmt.Errorf("read free slot %d: %w", slot, err)
+		}
+		slot = binary.LittleEndian.Uint64(buf)
 	}
 	return nil
 }
 
 // payload capacity of one slot.
 func (s *FileStore) payload() int { return s.slotSize - slotHeaderSize }
+
+// usable gates every public operation (mu held).
+func (s *FileStore) usable() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if s.poisoned != nil {
+		return fmt.Errorf("%w: %v", ErrPoisoned, s.poisoned)
+	}
+	return nil
+}
+
+// poison records the first failed mutation and returns err. Every later
+// operation fails with ErrPoisoned.
+func (s *FileStore) poison(err error) error {
+	if s.poisoned == nil {
+		s.poisoned = err
+	}
+	return err
+}
+
+// checkNext validates a slot-chain link read from slot (mu held).
+func (s *FileStore) checkNext(slot, next uint64) error {
+	if next != 0 && (next >= s.nextSlot || next == slot) {
+		return fmt.Errorf("%w: slot %d links to invalid slot %d", ErrCorrupt, slot, next)
+	}
+	return nil
+}
 
 // --- slot-level access through the buffer pool (mu held) ---
 
@@ -215,7 +335,7 @@ func (s *FileStore) flushFrame(fr *frame) error {
 		return nil
 	}
 	if _, err := s.f.WriteAt(fr.buf, int64(fr.slot)*int64(s.slotSize)); err != nil {
-		return fmt.Errorf("storage: write slot %d: %w", fr.slot, err)
+		return s.poison(fmt.Errorf("storage: write slot %d: %w", fr.slot, err))
 	}
 	s.stats.SlotWrites++
 	fr.dirty = false
@@ -229,14 +349,18 @@ func (s *FileStore) allocSlot() (uint64, error) {
 		if err != nil {
 			return 0, err
 		}
-		s.freeHead = binary.LittleEndian.Uint64(fr.buf)
+		next := binary.LittleEndian.Uint64(fr.buf)
+		if err := s.checkNext(slot, next); err != nil {
+			return 0, err
+		}
+		s.freeHead = next
 		return slot, nil
 	}
 	slot := s.nextSlot
 	s.nextSlot++
 	// Extend the file eagerly so ReadAt on a fresh slot cannot fail.
 	if err := s.f.Truncate(int64(s.nextSlot) * int64(s.slotSize)); err != nil {
-		return 0, fmt.Errorf("storage: extend file: %w", err)
+		return 0, s.poison(fmt.Errorf("storage: extend file: %w", err))
 	}
 	return slot, nil
 }
@@ -261,8 +385,8 @@ func (s *FileStore) freeSlot(slot uint64) error {
 func (s *FileStore) Alloc() (page.ID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return 0, fmt.Errorf("storage: store is closed")
+	if err := s.usable(); err != nil {
+		return 0, err
 	}
 	slot, err := s.allocSlot()
 	if err != nil {
@@ -270,7 +394,7 @@ func (s *FileStore) Alloc() (page.ID, error) {
 	}
 	fr, err := s.frameFor(slot, false)
 	if err != nil {
-		return 0, err
+		return 0, s.poison(err)
 	}
 	for i := range fr.buf {
 		fr.buf[i] = 0
@@ -284,21 +408,28 @@ func (s *FileStore) Alloc() (page.ID, error) {
 func (s *FileStore) ReadNode(id page.ID) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return nil, fmt.Errorf("storage: store is closed")
+	if err := s.usable(); err != nil {
+		return nil, err
 	}
 	s.stats.NodeReads++
 	var out []byte
+	var hops uint64
 	slot := uint64(id)
 	for slot != 0 {
+		if hops++; hops > s.nextSlot {
+			return nil, fmt.Errorf("%w: slot chain cycle at page %d", ErrCorrupt, id)
+		}
 		fr, err := s.frameFor(slot, true)
 		if err != nil {
 			return nil, err
 		}
 		next := binary.LittleEndian.Uint64(fr.buf)
+		if err := s.checkNext(slot, next); err != nil {
+			return nil, err
+		}
 		n := int(binary.LittleEndian.Uint32(fr.buf[8:]))
 		if n < 0 || n > s.payload() {
-			return nil, fmt.Errorf("storage: corrupt fragment length %d in slot %d", n, slot)
+			return nil, fmt.Errorf("%w: fragment length %d in slot %d", ErrCorrupt, n, slot)
 		}
 		out = append(out, fr.buf[slotHeaderSize:slotHeaderSize+n]...)
 		slot = next
@@ -307,29 +438,28 @@ func (s *FileStore) ReadNode(id page.ID) ([]byte, error) {
 }
 
 // WriteNode implements Store. It reuses the existing chain, growing or
-// shrinking it as required by the blob size.
+// shrinking it as required by the blob size. Any mid-write failure
+// poisons the store: the chain may be half-updated.
 func (s *FileStore) WriteNode(id page.ID, blob []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return fmt.Errorf("storage: store is closed")
+	if err := s.usable(); err != nil {
+		return err
 	}
 	s.stats.NodeWrites++
 	slot := uint64(id)
 	off := 0
 	first := true
 	for {
-		fr, err := s.frameFor(slot, !first)
+		// Load the slot so the chain pointer is current; for the head
+		// frame this is a single lookup (a cache hit when the node was
+		// just allocated, a disk load otherwise).
+		fr, err := s.frameFor(slot, true)
 		if err != nil {
-			return err
-		}
-		if first {
-			// The head frame may not have been loaded before; ensure the
-			// chain pointer is current by loading it when present on disk.
-			fr, err = s.frameFor(slot, true)
-			if err != nil {
-				return err
+			if !first {
+				return s.poison(err)
 			}
+			return err
 		}
 		n := len(blob) - off
 		if n > s.payload() {
@@ -339,6 +469,9 @@ func (s *FileStore) WriteNode(id page.ID, blob []byte) error {
 		binary.LittleEndian.PutUint32(fr.buf[8:], uint32(n))
 		off += n
 		oldNext := binary.LittleEndian.Uint64(fr.buf)
+		if err := s.checkNext(slot, oldNext); err != nil {
+			return s.poison(err)
+		}
 		if off >= len(blob) {
 			binary.LittleEndian.PutUint64(fr.buf, 0)
 			fr.dirty = true
@@ -346,11 +479,14 @@ func (s *FileStore) WriteNode(id page.ID, blob []byte) error {
 			for oldNext != 0 {
 				nf, err := s.frameFor(oldNext, true)
 				if err != nil {
-					return err
+					return s.poison(err)
 				}
 				next := binary.LittleEndian.Uint64(nf.buf)
+				if err := s.checkNext(oldNext, next); err != nil {
+					return s.poison(err)
+				}
 				if err := s.freeSlot(oldNext); err != nil {
-					return err
+					return s.poison(err)
 				}
 				oldNext = next
 			}
@@ -360,11 +496,11 @@ func (s *FileStore) WriteNode(id page.ID, blob []byte) error {
 		if next == 0 {
 			next, err = s.allocSlot()
 			if err != nil {
-				return err
+				return s.poison(err)
 			}
 			nf, err2 := s.frameFor(next, false)
 			if err2 != nil {
-				return err2
+				return s.poison(err2)
 			}
 			for i := range nf.buf {
 				nf.buf[i] = 0
@@ -382,19 +518,29 @@ func (s *FileStore) WriteNode(id page.ID, blob []byte) error {
 func (s *FileStore) Free(id page.ID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return fmt.Errorf("storage: store is closed")
+	if err := s.usable(); err != nil {
+		return err
 	}
 	s.stats.Frees++
+	var hops uint64
 	slot := uint64(id)
 	for slot != 0 {
+		if hops++; hops > s.nextSlot {
+			return s.poison(fmt.Errorf("%w: slot chain cycle freeing page %d", ErrCorrupt, id))
+		}
 		fr, err := s.frameFor(slot, true)
 		if err != nil {
-			return err
+			if hops == 1 {
+				return err
+			}
+			return s.poison(err)
 		}
 		next := binary.LittleEndian.Uint64(fr.buf)
-		if err := s.freeSlot(slot); err != nil {
+		if err := s.checkNext(slot, next); err != nil {
 			return err
+		}
+		if err := s.freeSlot(slot); err != nil {
+			return s.poison(err)
 		}
 		slot = next
 	}
@@ -408,24 +554,65 @@ func (s *FileStore) Stats() Stats {
 	return s.stats
 }
 
-// Sync implements Store: flushes dirty frames, the header, and fsyncs.
+// Sync implements Store: atomically flushes dirty frames and the header.
 func (s *FileStore) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.usable(); err != nil {
+		return err
+	}
 	return s.syncLocked()
 }
 
+// syncLocked runs the atomic flush protocol:
+//
+//  1. journal the old image of every slot about to change, plus the old
+//     header; fsync the journal;
+//  2. write the new slot images; fsync the data file;
+//  3. write the new checksummed header; fsync the data file;
+//  4. invalidate the journal (truncate + fsync).
+//
+// A crash before step 2 leaves the old state untouched (the journal is
+// ignored if incomplete, rolled back harmlessly if complete); a crash in
+// steps 2–4 is undone by rollbackJournal at the next open. The dirty-slot
+// writes in step 2 are ordered before the header write of step 3 by the
+// intervening fsync, so the header can never describe slots that have not
+// reached the disk.
 func (s *FileStore) syncLocked() error {
+	var dirty []*frame
 	for _, fr := range s.frames {
-		if err := s.flushFrame(fr); err != nil {
-			return err
+		if fr.dirty {
+			dirty = append(dirty, fr)
 		}
 	}
-	if err := s.writeHeader(); err != nil {
-		return err
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].slot < dirty[j].slot })
+	newHdr := s.encodeHeader()
+	if len(dirty) == 0 {
+		// Header-only sync: skip the journal when the disk already agrees.
+		old := make([]byte, headerSize)
+		if _, err := s.f.ReadAt(old, 0); err == nil && bytes.Equal(old, newHdr) {
+			return nil
+		}
+	}
+	if err := s.writeJournal(dirty); err != nil {
+		return s.poison(err)
+	}
+	for _, fr := range dirty {
+		if err := s.flushFrame(fr); err != nil {
+			return err // flushFrame poisons
+		}
 	}
 	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("storage: fsync: %w", err)
+		return s.poison(fmt.Errorf("storage: fsync %s: %w", s.path, err))
+	}
+	if _, err := s.f.WriteAt(newHdr, 0); err != nil {
+		return s.poison(fmt.Errorf("storage: write header: %w", err))
+	}
+	if err := s.f.Sync(); err != nil {
+		return s.poison(fmt.Errorf("storage: fsync %s: %w", s.path, err))
+	}
+	if err := s.invalidateJournal(); err != nil {
+		return s.poison(err)
 	}
 	return nil
 }
@@ -437,11 +624,26 @@ func (s *FileStore) Close() error {
 	if s.closed {
 		return nil
 	}
-	if err := s.syncLocked(); err != nil {
+	s.closed = true
+	if s.poisoned != nil {
+		// The pool state is unknown; do not flush it over the last good
+		// checkpoint. Just release the descriptors.
 		s.f.Close()
-		s.closed = true
+		if s.jf != nil {
+			s.jf.Close()
+		}
+		return fmt.Errorf("%w: %v", ErrPoisoned, s.poisoned)
+	}
+	err := s.syncLocked()
+	cerr := s.f.Close()
+	if s.jf != nil {
+		s.jf.Close()
+	}
+	if err != nil {
 		return err
 	}
-	s.closed = true
-	return s.f.Close()
+	if cerr != nil {
+		return fmt.Errorf("storage: close %s: %w", s.path, cerr)
+	}
+	return nil
 }

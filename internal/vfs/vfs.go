@@ -1,0 +1,38 @@
+// Package vfs defines the narrow filesystem seam under the storage
+// engine and the write-ahead log. Production code uses OS (a passthrough
+// to package os); tests substitute fault-injecting implementations (see
+// internal/fault) without touching the I/O call sites.
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the storage layer and the WAL use.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.WriterAt
+	io.Seeker
+	Truncate(size int64) error
+	Sync() error
+	Stat() (os.FileInfo, error)
+	Close() error
+}
+
+// FS opens files. Implementations must return File handles whose
+// operations are durable (or deliberately not, for fault injection) with
+// the same semantics as package os.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+}
+
+// OS is the production FS: a direct passthrough to package os.
+type OS struct{}
+
+// OpenFile implements FS.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}

@@ -4,34 +4,74 @@
 // redo-from-checkpoint recovery on top of the page store — the
 // "completely predictable all the time" operational requirement the
 // paper's introduction motivates.
+//
+// On-disk layout: a 16-byte preamble (magic, checkpoint epoch, CRC)
+// followed by records, each `length(4) | crc32(4) | body`. The epoch in
+// the preamble mirrors the store's checkpoint epoch and tells recovery
+// whether the records postdate the last checkpoint (replay them) or were
+// already absorbed by a checkpoint that crashed before resetting the log
+// (discard them).
+//
+// Replay distinguishes two kinds of damage. A torn *tail* — the expected
+// residue of a crash mid-append — ends the replay cleanly and is
+// truncated. A damaged record with *intact records beyond it* is mid-log
+// corruption: truncating there would silently discard acknowledged,
+// fsynced operations, so Replay refuses with ErrCorrupt instead.
 package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
+
+	"bvtree/internal/vfs"
+)
+
+// Sentinel errors, classified with errors.Is.
+var (
+	// ErrClosed is returned by operations on a closed log.
+	ErrClosed = errors.New("wal: log is closed")
+	// ErrCorrupt is returned when the log is damaged in a way that cannot
+	// be the residue of a clean crash: a broken record with intact records
+	// behind it, or a damaged preamble in front of intact records.
+	ErrCorrupt = errors.New("wal: corrupt log")
 )
 
 // Log is an append-only record log. Concurrent use must be serialised by
 // the caller (the durable tree holds its own mutex).
 type Log struct {
-	f      *os.File
+	f      vfs.File
 	path   string
-	size   int64
+	size   int64 // record bytes, excluding the preamble
+	epoch  uint64
+	hdrOK  bool // preamble present and intact on disk
 	synced bool
 	closed bool
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-const recordHeader = 8 // length (4) + crc (4)
+const (
+	recordHeader = 8 // length (4) + crc (4)
 
-// Open opens (or creates) the log at path. Existing records are preserved
-// for Replay.
-func Open(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	preambleSize  = 16 // magic (4) + epoch (8) + crc (4)
+	preambleMagic = 0x454C4157 // "WALE"
+
+	// maxRecord bounds a record length read from disk so that a damaged
+	// length field cannot force a huge allocation.
+	maxRecord = 1 << 30
+)
+
+// Open opens (or creates) the log at path on the real filesystem.
+// Existing records are preserved for Replay.
+func Open(path string) (*Log, error) { return OpenFS(vfs.OS{}, path) }
+
+// OpenFS is Open over an explicit filesystem seam.
+func OpenFS(fs vfs.FS, path string) (*Log, error) {
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
@@ -40,28 +80,87 @@ func Open(path string) (*Log, error) {
 		f.Close()
 		return nil, fmt.Errorf("wal: stat %s: %w", path, err)
 	}
+	l := &Log{f: f, path: path}
+	if st.Size() > 0 {
+		hdr := make([]byte, preambleSize)
+		n, _ := f.ReadAt(hdr, 0)
+		if n == preambleSize &&
+			binary.LittleEndian.Uint32(hdr) == preambleMagic &&
+			crc32.Checksum(hdr[:12], crcTable) == binary.LittleEndian.Uint32(hdr[12:]) {
+			l.hdrOK = true
+			l.epoch = binary.LittleEndian.Uint64(hdr[4:])
+			l.size = st.Size() - preambleSize
+		} else {
+			// Damaged preamble. If an intact record survives beyond it we
+			// must not silently discard it.
+			if off, found, serr := scanIntact(f, 1, st.Size()); serr != nil {
+				f.Close()
+				return nil, serr
+			} else if found {
+				f.Close()
+				return nil, fmt.Errorf("wal: %s: %w: preamble damaged but intact record at offset %d", path, ErrCorrupt, off)
+			}
+			// Nothing recoverable; the next Reset or Append reinitialises.
+		}
+	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
-		return nil, err
+		return nil, fmt.Errorf("wal: seek %s: %w", path, err)
 	}
-	return &Log{f: f, path: path, size: st.Size()}, nil
+	return l, nil
+}
+
+// Epoch returns the checkpoint epoch recorded in the log's preamble
+// (0 for a fresh or unrecoverably-damaged log).
+func (l *Log) Epoch() uint64 { return l.epoch }
+
+// initPreamble (re)writes the preamble for the given epoch, discarding any
+// existing content.
+func (l *Log) initPreamble(epoch uint64) error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate %s: %w", l.path, err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek %s: %w", l.path, err)
+	}
+	hdr := make([]byte, preambleSize)
+	binary.LittleEndian.PutUint32(hdr, preambleMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], epoch)
+	binary.LittleEndian.PutUint32(hdr[12:], crc32.Checksum(hdr[:12], crcTable))
+	if _, err := l.f.Write(hdr); err != nil {
+		return fmt.Errorf("wal: write preamble %s: %w", l.path, err)
+	}
+	l.epoch = epoch
+	l.hdrOK = true
+	l.size = 0
+	l.synced = false
+	return nil
 }
 
 // Append writes one record. The record is durable only after Sync.
+// Records must be non-empty: an empty record's header (zero length, zero
+// CRC) is all zero bytes, which the corruption scanner could not tell
+// apart from torn-write residue.
 func (l *Log) Append(rec []byte) error {
 	if l.closed {
-		return fmt.Errorf("wal: log is closed")
+		return ErrClosed
 	}
-	hdr := make([]byte, recordHeader)
-	binary.LittleEndian.PutUint32(hdr, uint32(len(rec)))
-	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(rec, crcTable))
-	if _, err := l.f.Write(hdr); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+	if len(rec) == 0 {
+		return fmt.Errorf("wal: append %s: empty record", l.path)
 	}
-	if _, err := l.f.Write(rec); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+	if !l.hdrOK {
+		if err := l.initPreamble(l.epoch); err != nil {
+			return err
+		}
 	}
-	l.size += int64(recordHeader + len(rec))
+	buf := make([]byte, recordHeader+len(rec))
+	binary.LittleEndian.PutUint32(buf, uint32(len(rec)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(rec, crcTable))
+	copy(buf[recordHeader:], rec)
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("wal: append %s: %w", l.path, err)
+	}
+	l.size += int64(len(buf))
 	l.synced = false
 	return nil
 }
@@ -69,41 +168,48 @@ func (l *Log) Append(rec []byte) error {
 // Sync makes all appended records durable.
 func (l *Log) Sync() error {
 	if l.closed {
-		return fmt.Errorf("wal: log is closed")
+		return ErrClosed
 	}
 	if l.synced {
 		return nil
 	}
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync: %w", err)
+		return fmt.Errorf("wal: fsync %s: %w", l.path, err)
 	}
 	l.synced = true
 	return nil
 }
 
-// Size returns the current log size in bytes.
+// Size returns the bytes of records currently in the log (excluding the
+// preamble); 0 means the log is empty.
 func (l *Log) Size() int64 { return l.size }
 
 // Replay invokes fn for every intact record in order. A torn or corrupt
 // tail (the expected result of a crash mid-append) ends the replay
 // cleanly; the log is truncated to the last intact record so subsequent
-// appends extend a consistent prefix.
+// appends extend a consistent prefix. A damaged record with intact
+// records beyond it is mid-log corruption and fails with ErrCorrupt —
+// silently truncating there would drop acknowledged operations.
 func (l *Log) Replay(fn func(rec []byte) error) error {
 	if l.closed {
-		return fmt.Errorf("wal: log is closed")
+		return ErrClosed
 	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return err
+	if !l.hdrOK {
+		return nil
 	}
-	var off int64
+	if _, err := l.f.Seek(preambleSize, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek %s: %w", l.path, err)
+	}
+	off := int64(preambleSize)
+	end := int64(preambleSize) + l.size
 	hdr := make([]byte, recordHeader)
 	for {
 		if _, err := io.ReadFull(l.f, hdr); err != nil {
-			break // clean EOF or torn header: stop
+			break // clean EOF or torn header
 		}
 		n := binary.LittleEndian.Uint32(hdr)
 		want := binary.LittleEndian.Uint32(hdr[4:])
-		if int64(n) > l.size-off-recordHeader {
+		if int64(n) > end-off-recordHeader || n > maxRecord {
 			break // torn record
 		}
 		rec := make([]byte, n)
@@ -111,38 +217,78 @@ func (l *Log) Replay(fn func(rec []byte) error) error {
 			break
 		}
 		if crc32.Checksum(rec, crcTable) != want {
-			break // corrupt record: treat as tail damage
+			break // damaged record
 		}
 		if err := fn(rec); err != nil {
 			return err
 		}
 		off += int64(recordHeader) + int64(n)
+		if off == end {
+			return nil // clean end, nothing to truncate
+		}
 	}
-	// Drop any damaged tail.
-	if err := l.f.Truncate(off); err != nil {
-		return fmt.Errorf("wal: truncate tail: %w", err)
-	}
-	l.size = off
-	if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
+	// Damage at off. Tail damage is truncated; damage shadowing intact
+	// records is refused.
+	if intact, found, err := scanIntact(l.f, off+1, end); err != nil {
 		return err
+	} else if found {
+		return fmt.Errorf("wal: %s: %w: record at offset %d damaged, intact record follows at offset %d", l.path, ErrCorrupt, off, intact)
+	}
+	if err := l.f.Truncate(off); err != nil {
+		return fmt.Errorf("wal: truncate tail %s: %w", l.path, err)
+	}
+	l.size = off - preambleSize
+	if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("wal: seek %s: %w", l.path, err)
 	}
 	return nil
 }
 
-// Reset empties the log (after a checkpoint has made its contents
-// redundant) and makes the truncation durable.
-func (l *Log) Reset() error {
+// scanIntact reports whether any offset in [from, end) starts an intact
+// record (a plausible length followed by a body matching its checksum). It
+// reads the scanned region into memory; it only runs on the error path of
+// a damaged log, which in this design is bounded by the operations since
+// the last checkpoint.
+func scanIntact(f vfs.File, from, end int64) (int64, bool, error) {
+	if from < 0 || from >= end {
+		return 0, false, nil
+	}
+	buf := make([]byte, end-from)
+	if _, err := f.ReadAt(buf, from); err != nil {
+		return 0, false, fmt.Errorf("wal: scan: %w", err)
+	}
+	for off := int64(0); off+recordHeader <= int64(len(buf)); off++ {
+		n := binary.LittleEndian.Uint32(buf[off:])
+		// n == 0 is excluded: Append forbids empty records precisely so
+		// that all-zero bytes (common in torn-write residue) can never
+		// scan as an intact record.
+		if n == 0 || n > maxRecord || int64(n) > int64(len(buf))-off-recordHeader {
+			continue
+		}
+		want := binary.LittleEndian.Uint32(buf[off+4:])
+		body := buf[off+recordHeader : off+recordHeader+int64(n)]
+		if crc32.Checksum(body, crcTable) == want {
+			return from + off, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// Reset empties the log after a checkpoint has made its contents
+// redundant, stamps the new checkpoint epoch into the preamble, and makes
+// the result durable.
+func (l *Log) Reset(epoch uint64) error {
 	if l.closed {
-		return fmt.Errorf("wal: log is closed")
+		return ErrClosed
 	}
-	if err := l.f.Truncate(0); err != nil {
-		return fmt.Errorf("wal: reset: %w", err)
-	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+	if err := l.initPreamble(epoch); err != nil {
 		return err
 	}
-	l.size = 0
-	return l.f.Sync()
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: reset fsync %s: %w", l.path, err)
+	}
+	l.synced = true
+	return nil
 }
 
 // Close syncs and closes the log.
@@ -153,7 +299,10 @@ func (l *Log) Close() error {
 	l.closed = true
 	if err := l.f.Sync(); err != nil {
 		l.f.Close()
-		return err
+		return fmt.Errorf("wal: close fsync %s: %w", l.path, err)
 	}
-	return l.f.Close()
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: close %s: %w", l.path, err)
+	}
+	return nil
 }

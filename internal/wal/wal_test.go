@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -17,7 +18,7 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	var recs [][]byte
 	for i := 0; i < 200; i++ {
-		r := make([]byte, rng.Intn(300))
+		r := make([]byte, 1+rng.Intn(300)) // empty records are rejected by design
 		rng.Read(r)
 		recs = append(recs, r)
 		if err := l.Append(r); err != nil {
@@ -97,30 +98,69 @@ func TestTornTailTruncated(t *testing.T) {
 	}
 }
 
-func TestCorruptMiddleStopsReplay(t *testing.T) {
+func TestCorruptMiddleIsAnError(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "corrupt.wal")
 	l, _ := Open(path)
 	_ = l.Append([]byte("first"))
 	_ = l.Append([]byte("second"))
 	_ = l.Sync()
 	_ = l.Close()
-	// Flip a byte inside the first record's body: replay must stop before
-	// it (treating everything from the damage onwards as lost).
+	// Flip a byte inside the first record's body. The second record is
+	// intact and was acknowledged, so replay must refuse to silently
+	// truncate — this is mid-log corruption, not a torn tail.
 	data, _ := os.ReadFile(path)
-	data[recordHeader] ^= 0x80
+	data[preambleSize+recordHeader] ^= 0x80
 	_ = os.WriteFile(path, data, 0o644)
 
-	re, _ := Open(path)
-	defer re.Close()
-	n := 0
-	if err := re.Replay(func([]byte) error { n++; return nil }); err != nil {
+	re, err := Open(path)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 0 {
-		t.Fatalf("replayed %d records from corrupt log", n)
+	defer re.Close()
+	err = re.Replay(func([]byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-log corruption replayed with err=%v, want ErrCorrupt", err)
 	}
-	if re.Size() != 0 {
-		t.Fatalf("corrupt log not truncated: %d", re.Size())
+}
+
+func TestCorruptPreambleIsAnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "preamble.wal")
+	l, _ := Open(path)
+	_ = l.Append([]byte("only"))
+	_ = l.Sync()
+	_ = l.Close()
+	data, _ := os.ReadFile(path)
+	data[4] ^= 0x01 // epoch field
+	_ = os.WriteFile(path, data, 0o644)
+
+	if _, err := Open(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("damaged preamble in front of an intact record opened with err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestEpochRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "epoch.wal")
+	l, _ := Open(path)
+	if l.Epoch() != 0 {
+		t.Fatalf("fresh log epoch %d", l.Epoch())
+	}
+	if err := l.Reset(7); err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Append([]byte("rec"))
+	_ = l.Sync()
+	_ = l.Close()
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Epoch() != 7 {
+		t.Fatalf("reopened epoch %d, want 7", re.Epoch())
+	}
+	n := 0
+	if err := re.Replay(func([]byte) error { n++; return nil }); err != nil || n != 1 {
+		t.Fatalf("replay n=%d err=%v", n, err)
 	}
 }
 
@@ -128,7 +168,7 @@ func TestReset(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "reset.wal")
 	l, _ := Open(path)
 	_ = l.Append([]byte("x"))
-	if err := l.Reset(); err != nil {
+	if err := l.Reset(1); err != nil {
 		t.Fatal(err)
 	}
 	if l.Size() != 0 {
