@@ -2,13 +2,17 @@ GO ?= go
 
 .PHONY: verify race torture fuzz bench
 
-# The standard verification gate: static checks, build, full test suite.
+# The standard verification gate: static checks, build, full test suite,
+# and the concurrency stress subset under the race detector (the full
+# -race run stays in the dedicated `race` target).
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
+	$(GO) test -race -run 'TestConcurrent' ./internal/bvtree ./internal/storage
 
-# Full suite under the race detector.
+# Full suite under the race detector, including the reader/writer stress
+# tests (TestConcurrent*) added with the parallel read path.
 race:
 	$(GO) test -race ./...
 

@@ -42,7 +42,11 @@ type Point = geometry.Point
 // Rect is a closed axis-aligned query rectangle.
 type Rect = geometry.Rect
 
-// Tree is a BV-tree. It is safe for concurrent use.
+// Tree is a BV-tree. It is safe for concurrent use under a
+// reader–writer contract: read-only operations (Lookup, RangeQuery,
+// Nearest, Stats, …) run in parallel with each other, while mutations
+// (Insert, Delete, Maintain, Flush) are exclusive. See DESIGN.md §8 for
+// the full concurrency model.
 type Tree = ibv.Tree
 
 // Options configures a Tree; see the field documentation in the

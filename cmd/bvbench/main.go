@@ -5,27 +5,62 @@
 //	bvbench -list
 //	bvbench -exp fig7-1
 //	bvbench -exp all -scale 2
+//	bvbench -concurrency [-readers 1,2,4,8] [-duration 2s] [-json BENCH_concurrency.json]
 //
 // Each experiment prints the rows/series of the corresponding paper
 // artifact together with a "shape check" describing what to look for; see
 // DESIGN.md for the experiment index and EXPERIMENTS.md for recorded runs.
+// The -concurrency mode measures parallel read throughput against one
+// in-memory tree and writes the scaling table to a JSON file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"bvtree/internal/bench"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment ID to run, or \"all\"")
-		scale = flag.Int("scale", 1, "workload scale multiplier")
-		list  = flag.Bool("list", false, "list experiments")
+		exp      = flag.String("exp", "", "experiment ID to run, or \"all\"")
+		scale    = flag.Int("scale", 1, "workload scale multiplier")
+		list     = flag.Bool("list", false, "list experiments")
+		conc     = flag.Bool("concurrency", false, "run the concurrent read-throughput benchmark")
+		readers  = flag.String("readers", "1,2,4,8", "comma-separated reader goroutine counts for -concurrency")
+		duration = flag.Duration("duration", 2*time.Second, "measurement window per reader count for -concurrency")
+		jsonPath = flag.String("json", "BENCH_concurrency.json", "output file for the -concurrency report")
 	)
 	flag.Parse()
+
+	if *conc {
+		counts, err := parseReaders(*readers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bvbench: %v\n", err)
+			os.Exit(2)
+		}
+		rep, err := bench.RunConcurrency(os.Stdout, *scale, counts, *duration)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bvbench: concurrency: %v\n", err)
+			os.Exit(1)
+		}
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bvbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bvbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
@@ -51,4 +86,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bvbench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+func parseReaders(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -readers value %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-readers is empty")
+	}
+	return out, nil
 }

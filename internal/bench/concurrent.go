@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bvtree/internal/bvtree"
+	"bvtree/internal/geometry"
+	"bvtree/internal/workload"
+)
+
+// ConcurrencyReport is the JSON artifact emitted by bvbench -concurrency.
+// It records read throughput against one in-memory BV-tree at increasing
+// reader counts, plus enough hardware context (CPUs, GOMAXPROCS) to
+// interpret the scaling: on a single-core host the speedup column is
+// expected to be flat — the reader–writer lock removes the software
+// serialisation, but only additional cores turn that into throughput.
+type ConcurrencyReport struct {
+	Experiment string              `json:"experiment"`
+	Points     int                 `json:"points"`
+	Dims       int                 `json:"dims"`
+	CPUs       int                 `json:"cpus"`
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	DurationMS int                 `json:"duration_ms"`
+	Mix        string              `json:"mix"`
+	Results    []ConcurrencyResult `json:"results"`
+}
+
+// ConcurrencyResult is one row of the scaling table.
+type ConcurrencyResult struct {
+	Readers   int     `json:"readers"`
+	Ops       uint64  `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Speedup   float64 `json:"speedup"` // vs the 1-reader row
+}
+
+// concurrencyMix describes the read mix each goroutine issues. Lookups
+// dominate (the exact-match path of §3 is the headline cost), with enough
+// range and kNN traffic to exercise the rectangle walker and the
+// best-first heap under the shared lock.
+const concurrencyMix = "80% Lookup / 15% RangeQuery / 5% Nearest(k=4)"
+
+// RunConcurrency builds an in-memory tree of 100000*scale uniform 2-D
+// points and measures aggregate read throughput with 1, 2, 4 and 8
+// goroutines, each running the mixed read loop for the given duration.
+// Progress goes to w; the returned report is what bvbench serialises to
+// BENCH_concurrency.json.
+func RunConcurrency(w io.Writer, scale int, readerCounts []int, duration time.Duration) (*ConcurrencyReport, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	if len(readerCounts) == 0 {
+		readerCounts = []int{1, 2, 4, 8}
+	}
+	const dims = 2
+	n := 100000 * scale
+	pts, err := workload.Generate(workload.Uniform, dims, n, 42)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := bvtree.New(bvtree.Options{Dims: dims, DataCapacity: 16, Fanout: 16})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pts {
+		if err := tr.Insert(p, uint64(i)); err != nil {
+			return nil, err
+		}
+	}
+	rects := workload.QueryRects(dims, 256, 0.01, 43)
+
+	rep := &ConcurrencyReport{
+		Experiment: "concurrency",
+		Points:     n,
+		Dims:       dims,
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		DurationMS: int(duration / time.Millisecond),
+		Mix:        concurrencyMix,
+	}
+	fmt.Fprintf(w, "concurrency: %d points, %d CPUs, GOMAXPROCS=%d, %s per level\n",
+		n, rep.CPUs, rep.GoMaxProcs, duration)
+	fmt.Fprintf(w, "mix: %s\n", concurrencyMix)
+	fmt.Fprintf(w, "%8s %12s %10s %12s %8s\n", "readers", "ops", "secs", "ops/sec", "speedup")
+
+	var base float64
+	for _, readers := range readerCounts {
+		ops, secs, err := readLoop(tr, pts, rects, readers, duration)
+		if err != nil {
+			return nil, err
+		}
+		rate := float64(ops) / secs
+		if base == 0 {
+			base = rate
+		}
+		res := ConcurrencyResult{
+			Readers:   readers,
+			Ops:       ops,
+			Seconds:   secs,
+			OpsPerSec: rate,
+			Speedup:   rate / base,
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Fprintf(w, "%8d %12d %10.2f %12.0f %7.2fx\n",
+			res.Readers, res.Ops, res.Seconds, res.OpsPerSec, res.Speedup)
+	}
+	return rep, nil
+}
+
+// readLoop runs the mixed read workload on readers goroutines for roughly
+// the given duration and returns the aggregate operation count and the
+// wall-clock time actually spent.
+func readLoop(tr *bvtree.Tree, pts []geometry.Point, rects []geometry.Rect, readers int, duration time.Duration) (uint64, float64, error) {
+	var (
+		stop     atomic.Bool
+		total    atomic.Uint64
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	timer := time.AfterFunc(duration, func() { stop.Store(true) })
+	defer timer.Stop()
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var ops uint64
+			for !stop.Load() {
+				var err error
+				switch r := rng.Intn(100); {
+				case r < 80:
+					_, err = tr.Lookup(pts[rng.Intn(len(pts))])
+				case r < 95:
+					err = tr.RangeQuery(rects[rng.Intn(len(rects))], func(geometry.Point, uint64) bool { return true })
+				default:
+					_, err = tr.Nearest(pts[rng.Intn(len(pts))], 4)
+				}
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				ops++
+			}
+			total.Add(ops)
+		}(int64(1000 + g))
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+	if firstErr != nil {
+		return 0, 0, firstErr
+	}
+	return total.Load(), secs, nil
+}

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"testing"
 
 	"bvtree/internal/bangfile"
@@ -197,6 +199,189 @@ func TestDifferentialAllStructures(t *testing.T) {
 				t.Fatal(err)
 			}
 			_ = fmt.Sprint() // keep fmt for debugging ergonomics
+		})
+	}
+}
+
+// oracleItem is one live entry of the linear-scan model.
+type oracleItem struct {
+	p       geometry.Point
+	payload uint64
+}
+
+// oracleDist mirrors the tree's metric bit-for-bit (same float64
+// conversion and Sqrt), so distances can be compared exactly rather than
+// with an epsilon.
+func oracleDist(a, b geometry.Point) float64 {
+	s := 0.0
+	for d := range a {
+		var diff float64
+		if a[d] > b[d] {
+			diff = float64(a[d] - b[d])
+		} else {
+			diff = float64(b[d] - a[d])
+		}
+		s += diff * diff
+	}
+	return math.Sqrt(s)
+}
+
+// TestDifferentialRandomScripts runs random insert/delete/query scripts
+// against the BV-tree and a naive linear-scan oracle in lockstep:
+// property-based testing with the oracle as the specification. It covers
+// the operations the cross-structure test above does not: Nearest (with
+// deletions in the mix), mid-script queries against a half-mutated tree,
+// and delete of absent items.
+func TestDifferentialRandomScripts(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			const dims, steps = 2, 4000
+			src := workload.NewSource(seed)
+			bv, err := bvtree.New(bvtree.Options{Dims: dims, DataCapacity: 8, Fanout: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var oracle []oracleItem
+			nextPayload := uint64(0)
+			randPoint := func() geometry.Point {
+				p := make(geometry.Point, dims)
+				for d := range p {
+					// A coarse grid makes exact-match collisions (and
+					// duplicate points) likely instead of vanishing.
+					p[d] = (src.Uint64() % 64) * 1_000_003
+				}
+				return p
+			}
+
+			for step := 0; step < steps; step++ {
+				switch op := src.Intn(100); {
+				case op < 45: // insert
+					p := randPoint()
+					if err := bv.Insert(p, nextPayload); err != nil {
+						t.Fatalf("step %d: insert: %v", step, err)
+					}
+					oracle = append(oracle, oracleItem{p: p.Clone(), payload: nextPayload})
+					nextPayload++
+
+				case op < 65: // delete (sometimes of an absent item)
+					if len(oracle) > 0 && src.Intn(10) > 0 {
+						i := src.Intn(len(oracle))
+						it := oracle[i]
+						ok, err := bv.Delete(it.p, it.payload)
+						if err != nil {
+							t.Fatalf("step %d: delete: %v", step, err)
+						}
+						if !ok {
+							t.Fatalf("step %d: delete of live item %d reported absent", step, it.payload)
+						}
+						oracle[i] = oracle[len(oracle)-1]
+						oracle = oracle[:len(oracle)-1]
+					} else {
+						ok, err := bv.Delete(randPoint(), nextPayload+1_000_000)
+						if err != nil {
+							t.Fatalf("step %d: absent delete: %v", step, err)
+						}
+						if ok {
+							t.Fatalf("step %d: delete of absent item reported success", step)
+						}
+					}
+
+				case op < 80: // exact match
+					p := randPoint()
+					if src.Intn(2) == 0 && len(oracle) > 0 {
+						p = oracle[src.Intn(len(oracle))].p
+					}
+					got, err := bv.Lookup(p)
+					if err != nil {
+						t.Fatalf("step %d: lookup: %v", step, err)
+					}
+					want := map[uint64]bool{}
+					for _, it := range oracle {
+						if it.p.Equal(p) {
+							want[it.payload] = true
+						}
+					}
+					if len(got) != len(want) {
+						t.Fatalf("step %d: lookup returned %d payloads, oracle has %d", step, len(got), len(want))
+					}
+					for _, v := range got {
+						if !want[v] {
+							t.Fatalf("step %d: lookup returned stale payload %d", step, v)
+						}
+					}
+
+				case op < 92: // range count
+					a, b := randPoint(), randPoint()
+					r := geometry.Rect{Min: make(geometry.Point, dims), Max: make(geometry.Point, dims)}
+					for d := 0; d < dims; d++ {
+						r.Min[d], r.Max[d] = a[d], b[d]
+						if r.Min[d] > r.Max[d] {
+							r.Min[d], r.Max[d] = r.Max[d], r.Min[d]
+						}
+					}
+					got, err := bv.Count(r)
+					if err != nil {
+						t.Fatalf("step %d: count: %v", step, err)
+					}
+					want := 0
+					for _, it := range oracle {
+						if r.Contains(it.p) {
+							want++
+						}
+					}
+					if got != want {
+						t.Fatalf("step %d: range count %d, oracle %d", step, got, want)
+					}
+
+				default: // kNN
+					q := randPoint()
+					k := 1 + src.Intn(12)
+					nbrs, err := bv.Nearest(q, k)
+					if err != nil {
+						t.Fatalf("step %d: nearest: %v", step, err)
+					}
+					want := k
+					if want > len(oracle) {
+						want = len(oracle)
+					}
+					if len(nbrs) != want {
+						t.Fatalf("step %d: nearest k=%d returned %d results, oracle has %d items", step, k, len(nbrs), len(oracle))
+					}
+					dists := make([]float64, 0, len(oracle))
+					at := map[float64]map[uint64]bool{}
+					for _, it := range oracle {
+						d := oracleDist(q, it.p)
+						dists = append(dists, d)
+						if at[d] == nil {
+							at[d] = map[uint64]bool{}
+						}
+						at[d][it.payload] = true
+					}
+					sort.Float64s(dists)
+					for i, nb := range nbrs {
+						if i > 0 && nbrs[i-1].Dist > nb.Dist {
+							t.Fatalf("step %d: nearest results out of order at %d", step, i)
+						}
+						// Exact distance agreement with the oracle's i-th
+						// smallest, and the returned item really is a live
+						// point at that distance.
+						if nb.Dist != dists[i] {
+							t.Fatalf("step %d: neighbour %d at distance %v, oracle says %v", step, i, nb.Dist, dists[i])
+						}
+						if !at[nb.Dist][nb.Payload] {
+							t.Fatalf("step %d: neighbour %d (payload %d) not a live point at distance %v", step, i, nb.Payload, nb.Dist)
+						}
+					}
+				}
+			}
+
+			if bv.Len() != len(oracle) {
+				t.Fatalf("final Len %d, oracle %d", bv.Len(), len(oracle))
+			}
+			if err := bv.Validate(true); err != nil {
+				t.Fatal(err)
+			}
 		})
 	}
 }

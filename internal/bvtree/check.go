@@ -28,8 +28,8 @@ import (
 // physical page with a path of exactly Height() index nodes — the paper's
 // central claim that the unbalanced tree behaves as a balanced one.
 func (t *Tree) Validate(full bool) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	defer t.endOp()
 
 	w := &walker{t: t}

@@ -138,7 +138,7 @@ func (t *Tree) mergeUnderfullData(ctx *opCtx, d *descent, dp *page.DataPage) err
 			return nil
 		}
 	}
-	t.stats.MergeDeferrals++
+	t.stats.mergeDeferrals.Add(1)
 	return nil
 }
 
@@ -210,7 +210,7 @@ func (t *Tree) dissolveRegion(victimID, nodeID page.ID, node *page.IndexNode) (b
 	if err := t.st.Free(victimID); err != nil {
 		return false, err
 	}
-	t.stats.Merges++
+	t.stats.merges.Add(1)
 	for _, it := range items {
 		a, err := t.addr(it.Point)
 		if err != nil {
@@ -230,7 +230,7 @@ func (t *Tree) dissolveRegion(victimID, nodeID page.ID, node *page.IndexNode) (b
 			return true, err
 		}
 		if len(tp.Items) > t.opt.DataCapacity {
-			t.stats.Resplits++
+			t.stats.resplits.Add(1)
 			if err := t.splitDataPage(c2, dd.dataID, dd.dataSrcID); err != nil {
 				return true, err
 			}

@@ -23,6 +23,13 @@ import (
 // to the store by an epoch number — recovery replays the log only when
 // its epoch matches the store's, so a crash between the checkpoint flush
 // and the log reset cannot double-apply records.
+//
+// Concurrency: the wrapper's mutex guards only the log, and only the
+// mutating operations (Insert, Delete, Checkpoint, LogSize, Close) take
+// it. Read operations are promoted unchanged from the embedded Tree and
+// never touch the WAL mutex — they run under the tree's shared lock, in
+// parallel with each other and blocked only by an in-flight mutation's
+// tree-level exclusive section, not by its WAL fsync.
 type DurableTree struct {
 	*Tree
 	mu  sync.Mutex // serialises log access across Insert/Delete/Checkpoint/Close

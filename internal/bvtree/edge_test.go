@@ -1,0 +1,215 @@
+package bvtree
+
+// Edge-case coverage for the read paths in query.go and nearest.go:
+// empty trees, single points, duplicate pile-ups at the data-capacity
+// boundary, zero-area query rectangles, and k beyond the tree size.
+
+import (
+	"testing"
+
+	"bvtree/internal/geometry"
+)
+
+func TestQueryEmptyTree(t *testing.T) {
+	tr, err := New(Options{Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	visits := 0
+	every := geometry.Rect{Min: geometry.Point{0, 0}, Max: geometry.Point{^uint64(0), ^uint64(0)}}
+	if err := tr.RangeQuery(every, func(geometry.Point, uint64) bool { visits++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if visits != 0 {
+		t.Fatalf("empty tree produced %d range hits", visits)
+	}
+	if n, err := tr.Count(every); err != nil || n != 0 {
+		t.Fatalf("Count on empty tree: %d, %v", n, err)
+	}
+	if err := tr.Scan(func(geometry.Point, uint64) bool { visits++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.PartialMatch(geometry.Point{7, 0}, []bool{true, false}, func(geometry.Point, uint64) bool { visits++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if visits != 0 {
+		t.Fatalf("empty tree produced %d scan/partial hits", visits)
+	}
+	if nbrs, err := tr.Nearest(geometry.Point{1, 2}, 3); err != nil || len(nbrs) != 0 {
+		t.Fatalf("empty tree Nearest: %v, %v", nbrs, err)
+	}
+}
+
+func TestQuerySinglePoint(t *testing.T) {
+	tr, err := New(Options{Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geometry.Point{1000, 2000}
+	if err := tr.Insert(p, 77); err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero-area rectangle exactly on the point: one hit.
+	hits := 0
+	if err := tr.RangeQuery(geometry.Rect{Min: p.Clone(), Max: p.Clone()}, func(q geometry.Point, payload uint64) bool {
+		if payload != 77 {
+			t.Errorf("payload %d", payload)
+		}
+		hits++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 1 {
+		t.Fatalf("degenerate rect on the point: %d hits", hits)
+	}
+
+	// Zero-area rectangle next to the point: no hit.
+	miss := geometry.Point{1000, 2001}
+	if err := tr.RangeQuery(geometry.Rect{Min: miss, Max: miss}, func(geometry.Point, uint64) bool {
+		t.Error("adjacent degenerate rect matched")
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// k far larger than the tree: all (one) results, no padding.
+	nbrs, err := tr.Nearest(geometry.Point{0, 0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 1 || nbrs[0].Payload != 77 {
+		t.Fatalf("Nearest on 1-point tree: %+v", nbrs)
+	}
+}
+
+func TestQueryDuplicatesAtCapacityBoundary(t *testing.T) {
+	const capacity = 8
+	tr, err := New(Options{Dims: 2, DataCapacity: capacity, Fanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geometry.Point{500, 500}
+	// Exactly DataCapacity duplicates: the page is full but must not
+	// have split (a split of identical points cannot separate them).
+	for i := uint64(0); i < capacity; i++ {
+		if err := tr.Insert(p, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One more forces the soft-overflow path at the boundary.
+	if err := tr.Insert(p, capacity); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Lookup(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != capacity+1 {
+		t.Fatalf("lookup returned %d of %d duplicates", len(got), capacity+1)
+	}
+
+	// A zero-area rect on the pile sees every duplicate.
+	hits := 0
+	if err := tr.RangeQuery(geometry.Rect{Min: p.Clone(), Max: p.Clone()}, func(geometry.Point, uint64) bool {
+		hits++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if hits != capacity+1 {
+		t.Fatalf("range over duplicate pile: %d hits, want %d", hits, capacity+1)
+	}
+
+	// kNN with k below, at, and above the pile size.
+	for _, k := range []int{3, capacity + 1, capacity + 5} {
+		nbrs, err := tr.Nearest(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := k
+		if want > capacity+1 {
+			want = capacity + 1
+		}
+		if len(nbrs) != want {
+			t.Fatalf("Nearest k=%d over duplicate pile: %d results, want %d", k, len(nbrs), want)
+		}
+		for _, nb := range nbrs {
+			if nb.Dist != 0 {
+				t.Fatalf("duplicate neighbour at distance %v", nb.Dist)
+			}
+		}
+	}
+	if err := tr.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNearestKLargerThanTree(t *testing.T) {
+	tr, err := New(Options{Dims: 2, DataCapacity: 4, Fanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []geometry.Point{{10, 10}, {20, 20}, {30, 30}, {40, 40}, {50, 50}, {60, 60}, {70, 70}}
+	for i, p := range pts {
+		if err := tr.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nbrs, err := tr.Nearest(geometry.Point{12, 12}, len(pts)*3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != len(pts) {
+		t.Fatalf("k>size returned %d results, want %d", len(nbrs), len(pts))
+	}
+	// Results must be every point, in non-decreasing distance order.
+	seen := make(map[uint64]bool)
+	for i, nb := range nbrs {
+		seen[nb.Payload] = true
+		if i > 0 && nbrs[i-1].Dist > nb.Dist {
+			t.Fatalf("distance order violated at %d: %v > %v", i, nbrs[i-1].Dist, nb.Dist)
+		}
+	}
+	if len(seen) != len(pts) {
+		t.Fatalf("k>size missed points: saw %d distinct payloads", len(seen))
+	}
+}
+
+func TestZeroAreaRectsAcrossSplits(t *testing.T) {
+	// Enough structure that degenerate rects must descend through real
+	// index levels, including guard regions.
+	tr, err := New(Options{Dims: 2, DataCapacity: 4, Fanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts []geometry.Point
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			p := geometry.Point{x * 1_000_003, y * 999_983}
+			pts = append(pts, p)
+			if err := tr.Insert(p, x*16+y); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, p := range pts {
+		hits := 0
+		if err := tr.RangeQuery(geometry.Rect{Min: p.Clone(), Max: p.Clone()}, func(q geometry.Point, payload uint64) bool {
+			if payload != uint64(i) {
+				t.Errorf("point %d: wrong payload %d", i, payload)
+			}
+			hits++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if hits != 1 {
+			t.Fatalf("degenerate rect on point %d: %d hits", i, hits)
+		}
+		if n, err := tr.Count(geometry.Rect{Min: p.Clone(), Max: p.Clone()}); err != nil || n != 1 {
+			t.Fatalf("Count degenerate rect on point %d: %d, %v", i, n, err)
+		}
+	}
+}

@@ -122,7 +122,7 @@ func (t *Tree) splitDataPage(ctx *opCtx, dataID, srcNodeID page.ID) error {
 	if errors.Is(err, region.ErrCannotSplit) {
 		// Pathological duplicate data: tolerate an oversized page rather
 		// than lose the non-intersection invariant.
-		t.stats.SoftOverflows++
+		t.stats.softOverflows.Add(1)
 		return nil
 	}
 	if err != nil {
@@ -142,7 +142,7 @@ func (t *Tree) splitDataPage(ctx *opCtx, dataID, srcNodeID page.ID) error {
 		}
 	}
 	dp.Items = keep
-	t.stats.DataSplits++
+	t.stats.dataSplits.Add(1)
 	if err := t.st.SaveData(dataID, dp); err != nil {
 		return err
 	}
@@ -172,7 +172,7 @@ func (t *Tree) splitDataPage(ctx *opCtx, dataID, srcNodeID page.ID) error {
 		}
 		t.root = rootID
 		t.rootLevel = 1
-		t.stats.RootGrowths++
+		t.stats.rootGrowths.Add(1)
 	} else {
 		// Place the inner entry by a single descent from the root (§4):
 		// starting lower would miss guards collected above, and the stop
@@ -185,7 +185,7 @@ func (t *Tree) splitDataPage(ctx *opCtx, dataID, srcNodeID page.ID) error {
 		// §4: when a promoted (guard) region splits, the inner half may
 		// be demotable towards its natural level.
 		if srcLevel > 1 && landed < srcLevel {
-			t.stats.Demotions++
+			t.stats.demotions.Add(1)
 		}
 	}
 	return t.resplitOversized(ctx, dataID, innerID)
@@ -216,14 +216,14 @@ func (t *Tree) resplitOversized(ctx *opCtx, ids ...page.ID) error {
 			if d.dataID != id {
 				return fmt.Errorf("bvtree: oversized page %d not reachable by its own items (got %d)", id, d.dataID)
 			}
-			before := t.stats.DataSplits + t.stats.SoftOverflows
+			before := t.stats.dataSplits.Load() + t.stats.softOverflows.Load()
 			if err := t.splitDataPage(c2, id, d.dataSrcID); err != nil {
 				return err
 			}
-			if t.stats.DataSplits+t.stats.SoftOverflows == before {
+			if t.stats.dataSplits.Load()+t.stats.softOverflows.Load() == before {
 				break // no progress possible
 			}
-			if t.stats.SoftOverflows > 0 {
+			if t.stats.softOverflows.Load() > 0 {
 				// Tolerated oversize; stop to avoid looping.
 				break
 			}
@@ -414,7 +414,7 @@ func (t *Tree) insertIntoNode(ctx *opCtx, id page.ID, n *page.IndexNode, e page.
 func (t *Tree) splitIndexNode(ctx *opCtx, id page.ID, n *page.IndexNode) error {
 	q, ok := chooseIndexSplit(n)
 	if !ok {
-		t.stats.SoftOverflows++
+		t.stats.softOverflows.Add(1)
 		return nil
 	}
 
@@ -442,8 +442,8 @@ func (t *Tree) splitIndexNode(ctx *opCtx, id page.ID, n *page.IndexNode) error {
 		}
 	}
 	n.Entries = outer
-	t.stats.IndexSplits++
-	t.stats.Promotions += uint64(len(promoted))
+	t.stats.indexSplits.Add(1)
+	t.stats.promotions.Add(uint64(len(promoted)))
 	if err := t.st.SaveIndex(id, n); err != nil {
 		return err
 	}
@@ -486,7 +486,7 @@ func (t *Tree) splitIndexNode(ctx *opCtx, id page.ID, n *page.IndexNode) error {
 		}
 		t.root = rootID
 		t.rootLevel = rootNode.Level
-		t.stats.RootGrowths++
+		t.stats.rootGrowths.Add(1)
 		if len(rootNode.Entries) > t.capacity(rootNode.Level) {
 			// A root split promotes (at most) one guard per partition
 			// level, so when the fan-out is small relative to the height
@@ -499,7 +499,7 @@ func (t *Tree) splitIndexNode(ctx *opCtx, id page.ID, n *page.IndexNode) error {
 				return t.splitIndexNode(ctx, rootID, rootNode)
 			}
 			if len(rootNode.Entries) <= 2+rootNode.Level {
-				t.stats.SoftOverflows++
+				t.stats.softOverflows.Add(1)
 				return nil
 			}
 			return t.splitIndexNode(ctx, rootID, rootNode)

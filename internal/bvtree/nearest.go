@@ -26,8 +26,8 @@ type Neighbor struct {
 // than the current k-th candidate are ever visited. A region's points are
 // a subset of its brick, so the brick lower bound is valid.
 func (t *Tree) Nearest(p geometry.Point, k int) ([]Neighbor, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	defer t.endOp()
 	if len(p) != t.opt.Dims {
 		return nil, fmt.Errorf("bvtree: point has %d dims, tree has %d", len(p), t.opt.Dims)

@@ -2,6 +2,8 @@ package bvtree
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"bvtree/internal/page"
 	"bvtree/internal/region"
@@ -10,8 +12,11 @@ import (
 
 // NodeStore supplies decoded nodes to the tree. Implementations return
 // live node pointers: the tree mutates them in place and calls SaveIndex /
-// SaveData to persist the mutation. The tree serialises its own operations,
-// so implementations need not be safe for concurrent use.
+// SaveData to persist the mutation. The tree serialises mutations behind
+// an exclusive lock but runs read-only operations in parallel, so Index
+// and Data must be safe to call concurrently with each other (though
+// never concurrently with Alloc/Save/Free, which only run under the
+// tree's exclusive lock).
 type NodeStore interface {
 	AllocIndex(level int, reg region.BitString) (page.ID, *page.IndexNode, error)
 	AllocData(reg region.BitString) (page.ID, *page.DataPage, error)
@@ -24,7 +29,9 @@ type NodeStore interface {
 
 // memNodes keeps decoded nodes in memory; saves are no-ops. It is the
 // store used for algorithmic experiments, where only logical node accesses
-// matter.
+// matter. Index/Data are pure map reads, so concurrent readers need no
+// further synchronisation: the map is only mutated under the tree's
+// exclusive lock.
 type memNodes struct {
 	nodes map[page.ID]interface{}
 	next  page.ID
@@ -84,37 +91,101 @@ func (m *memNodes) Free(id page.ID) error {
 	return nil
 }
 
+// cacheShards is the shard count of the decoded-node cache. Shards spread
+// cache-map mutations from parallel readers (a miss inserts the decoded
+// node) across independent mutexes so the read path does not funnel
+// through one cache lock.
+const cacheShards = 16
+
+// nodeShard is one stripe of the decoded-node cache.
+type nodeShard struct {
+	mu    sync.Mutex
+	nodes map[page.ID]interface{}
+}
+
 // pagedNodes adapts a storage.Store: nodes are serialised through
-// package page. Decoded nodes are cached; because every mutation is saved
-// (written through) before the operation returns, cached nodes are always
-// clean and can be evicted freely between operations.
+// package page. Decoded nodes are kept in a sharded cache; because every
+// mutation is saved (written through) before the operation returns, cached
+// nodes are always clean and can be evicted freely between operations.
+//
+// Concurrency: parallel readers may race to decode the same page; both
+// decodes are identical clean copies and the last insert wins, so the race
+// is benign. Node *contents* are only mutated under the tree's exclusive
+// lock, which also guarantees the writer-uniqueness invariant eviction
+// relies on (see evictIfNeeded).
 type pagedNodes struct {
-	st    storage.Store
-	dims  int
-	cache map[page.ID]interface{}
-	cap   int
+	st     storage.Store
+	dims   int
+	cap    int
+	size   atomic.Int64 // total cached nodes across shards
+	shards [cacheShards]nodeShard
 }
 
 func newPagedNodes(st storage.Store, dims, cacheNodes int) *pagedNodes {
 	if cacheNodes <= 0 {
 		cacheNodes = 4096
 	}
-	return &pagedNodes{st: st, dims: dims, cache: make(map[page.ID]interface{}), cap: cacheNodes}
+	s := &pagedNodes{st: st, dims: dims, cap: cacheNodes}
+	for i := range s.shards {
+		s.shards[i].nodes = make(map[page.ID]interface{})
+	}
+	return s
 }
 
-// evictIfNeeded trims the decoded cache. Called between tree operations
-// (never mid-operation, so live pointers stay unique).
+func (s *pagedNodes) shard(id page.ID) *nodeShard {
+	return &s.shards[uint64(id)%cacheShards]
+}
+
+func (s *pagedNodes) cacheGet(id page.ID) (interface{}, bool) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	v, ok := sh.nodes[id]
+	sh.mu.Unlock()
+	return v, ok
+}
+
+func (s *pagedNodes) cachePut(id page.ID, v interface{}) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	if _, ok := sh.nodes[id]; !ok {
+		s.size.Add(1)
+	}
+	sh.nodes[id] = v
+	sh.mu.Unlock()
+}
+
+func (s *pagedNodes) cacheDel(id page.ID) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	if _, ok := sh.nodes[id]; ok {
+		s.size.Add(-1)
+		delete(sh.nodes, id)
+	}
+	sh.mu.Unlock()
+}
+
+// evictIfNeeded trims the decoded cache to half capacity. It is called
+// between tree operations (never mid-operation), so within one mutating
+// operation live node pointers stay unique: a writer never sees two
+// decoded copies of the same page. Readers may refetch an evicted page
+// mid-operation, but a fresh decode of a clean page is indistinguishable
+// from the evicted copy.
 func (s *pagedNodes) evictIfNeeded() {
-	if len(s.cache) <= s.cap {
+	if int(s.size.Load()) <= s.cap {
 		return
 	}
-	drop := len(s.cache) - s.cap/2
-	for id := range s.cache {
-		if drop == 0 {
-			break
+	perShard := s.cap/2/cacheShards + 1
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for id := range sh.nodes {
+			if len(sh.nodes) <= perShard {
+				break
+			}
+			delete(sh.nodes, id)
+			s.size.Add(-1)
 		}
-		delete(s.cache, id)
-		drop--
+		sh.mu.Unlock()
 	}
 }
 
@@ -143,8 +214,11 @@ func (s *pagedNodes) AllocData(reg region.BitString) (page.ID, *page.DataPage, e
 }
 
 func (s *pagedNodes) Index(id page.ID) (*page.IndexNode, error) {
-	if n, ok := s.cache[id].(*page.IndexNode); ok {
-		return n, nil
+	if v, ok := s.cacheGet(id); ok {
+		if n, ok := v.(*page.IndexNode); ok {
+			return n, nil
+		}
+		return nil, fmt.Errorf("bvtree: page %d is not an index node", id)
 	}
 	blob, err := s.st.ReadNode(id)
 	if err != nil {
@@ -154,13 +228,16 @@ func (s *pagedNodes) Index(id page.ID) (*page.IndexNode, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bvtree: decode index page %d: %w", id, err)
 	}
-	s.cache[id] = n
+	s.cachePut(id, n)
 	return n, nil
 }
 
 func (s *pagedNodes) Data(id page.ID) (*page.DataPage, error) {
-	if p, ok := s.cache[id].(*page.DataPage); ok {
-		return p, nil
+	if v, ok := s.cacheGet(id); ok {
+		if p, ok := v.(*page.DataPage); ok {
+			return p, nil
+		}
+		return nil, fmt.Errorf("bvtree: page %d is not a data page", id)
 	}
 	blob, err := s.st.ReadNode(id)
 	if err != nil {
@@ -170,21 +247,21 @@ func (s *pagedNodes) Data(id page.ID) (*page.DataPage, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bvtree: decode data page %d: %w", id, err)
 	}
-	s.cache[id] = p
+	s.cachePut(id, p)
 	return p, nil
 }
 
 func (s *pagedNodes) SaveIndex(id page.ID, n *page.IndexNode) error {
-	s.cache[id] = n
+	s.cachePut(id, n)
 	return s.st.WriteNode(id, page.EncodeIndex(n))
 }
 
 func (s *pagedNodes) SaveData(id page.ID, p *page.DataPage) error {
-	s.cache[id] = p
+	s.cachePut(id, p)
 	return s.st.WriteNode(id, page.EncodeData(p, s.dims))
 }
 
 func (s *pagedNodes) Free(id page.ID) error {
-	delete(s.cache, id)
+	s.cacheDel(id)
 	return s.st.Free(id)
 }

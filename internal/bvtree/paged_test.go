@@ -140,8 +140,8 @@ func TestPagedCacheEviction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if len(tr.paged.cache) > 2000 {
-		t.Fatalf("decoded cache grew unbounded: %d", len(tr.paged.cache))
+	if n := tr.paged.size.Load(); n > 2000 {
+		t.Fatalf("decoded cache grew unbounded: %d", n)
 	}
 	if err := tr.Validate(true); err != nil {
 		t.Fatal(err)

@@ -21,8 +21,8 @@ type Visitor func(p geometry.Point, payload uint64) bool
 // A region's points are a subset of its brick, so brick intersection is a
 // sound and complete pruning test.
 func (t *Tree) RangeQuery(rect geometry.Rect, visit Visitor) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	defer t.endOp()
 	if rect.Dims() != t.opt.Dims {
 		return fmt.Errorf("bvtree: query rect has %d dims, tree has %d", rect.Dims(), t.opt.Dims)

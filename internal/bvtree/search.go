@@ -125,9 +125,10 @@ func (t *Tree) descendPoint(target region.BitString) (*descent, error) {
 }
 
 // Lookup returns the payloads of all stored items at exactly point p.
+// It holds the tree's shared lock: concurrent Lookups run in parallel.
 func (t *Tree) Lookup(p geometry.Point) ([]uint64, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	defer t.endOp()
 	key, err := t.addr(p)
 	if err != nil {
@@ -161,8 +162,8 @@ func (t *Tree) Contains(p geometry.Point) (bool, error) {
 // guard-set size encountered. It is a measurement helper for the
 // experiments of §6/§7.
 func (t *Tree) SearchCost(p geometry.Point) (nodes int, maxGuardSet int, err error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	defer t.endOp()
 	key, err := t.addr(p)
 	if err != nil {

@@ -36,8 +36,8 @@ type TreeStats struct {
 
 // CollectStats walks the tree and gathers occupancy and guard statistics.
 func (t *Tree) CollectStats() (*TreeStats, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	defer t.endOp()
 
 	s := &TreeStats{Height: t.rootLevel, IndexLevels: make(map[int]*LevelStats)}
@@ -155,8 +155,8 @@ func (s *TreeStats) String() string {
 // for debugging and for the worked-example tests that replay the paper's
 // figures.
 func (t *Tree) Dump() (string, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	defer t.endOp()
 	var b strings.Builder
 	var rec func(id page.ID, level, depth int) error

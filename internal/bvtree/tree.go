@@ -18,6 +18,7 @@ package bvtree
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"bvtree/internal/geometry"
 	"bvtree/internal/page"
@@ -72,7 +73,8 @@ func (o *Options) fill() error {
 	return nil
 }
 
-// OpStats accumulates structural event counters over the life of a tree.
+// OpStats is a snapshot of the structural event counters accumulated over
+// the life of a tree. Obtain one with (*Tree).Stats.
 type OpStats struct {
 	// NodeAccesses counts logical node fetches (index nodes + data pages).
 	NodeAccesses uint64
@@ -97,10 +99,58 @@ type OpStats struct {
 	RootGrowths uint64
 }
 
-// Tree is a BV-tree. All methods are safe for concurrent use; operations
-// are serialised internally.
+// opCounters holds the live structural event counters. Read-only
+// operations run concurrently with each other and bump NodeAccesses, so
+// every counter is atomic; Stats() assembles an OpStats snapshot from
+// atomic loads. Mutating counters are only ever written under the
+// exclusive tree lock — the atomics make the snapshot race-free, not the
+// arithmetic.
+type opCounters struct {
+	nodeAccesses   atomic.Uint64
+	dataSplits     atomic.Uint64
+	indexSplits    atomic.Uint64
+	promotions     atomic.Uint64
+	demotions      atomic.Uint64
+	merges         atomic.Uint64
+	resplits       atomic.Uint64
+	mergeDeferrals atomic.Uint64
+	softOverflows  atomic.Uint64
+	rootGrowths    atomic.Uint64
+}
+
+func (c *opCounters) snapshot() OpStats {
+	return OpStats{
+		NodeAccesses:   c.nodeAccesses.Load(),
+		DataSplits:     c.dataSplits.Load(),
+		IndexSplits:    c.indexSplits.Load(),
+		Promotions:     c.promotions.Load(),
+		Demotions:      c.demotions.Load(),
+		Merges:         c.merges.Load(),
+		Resplits:       c.resplits.Load(),
+		MergeDeferrals: c.mergeDeferrals.Load(),
+		SoftOverflows:  c.softOverflows.Load(),
+		RootGrowths:    c.rootGrowths.Load(),
+	}
+}
+
+// Tree is a BV-tree. All methods are safe for concurrent use under a
+// reader–writer contract:
+//
+//   - Read-only operations — Lookup, Contains, SearchCost, RangeQuery,
+//     PartialMatch, Scan, Count, Nearest, CollectStats, Dump, Validate,
+//     Len, Height, Stats, Epoch, ResetAccessCount — hold a shared lock and
+//     run in parallel with one another.
+//   - Mutating operations — Insert, Delete, Maintain, Flush — hold the
+//     lock exclusively and serialise against everything.
+//
+// The guard-set exact-match search (§3), range traversal and best-first
+// kNN keep all scratch state (guard sets, visit stacks, candidate heaps)
+// on the operation's own stack and never write to nodes, which is what
+// makes the shared-lock read path sound; the only shared mutable state
+// they touch is the OpStats counters (atomic) and the decoded-node caches
+// (internally synchronised, see pagedNodes and the storage stores).
 type Tree struct {
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	st  NodeStore
 	opt Options
 	il  *zorder.Interleaver
@@ -110,7 +160,7 @@ type Tree struct {
 	size      int
 	epoch     uint64 // checkpoint epoch of a paged tree (see page.Meta.Epoch)
 
-	stats OpStats
+	stats opCounters
 	paged *pagedNodes // non-nil when backed by a storage.Store
 	bst   storage.Store
 }
@@ -237,8 +287,8 @@ func newTree(ns NodeStore, pn *pagedNodes, bst storage.Store, opt Options) (*Tre
 // Epoch returns the checkpoint epoch last persisted to (or loaded from)
 // the store's metadata page; 0 for in-memory trees.
 func (t *Tree) Epoch() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.epoch
 }
 
@@ -252,8 +302,8 @@ func (t *Tree) advanceEpoch() {
 
 // Len returns the number of stored items.
 func (t *Tree) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.size
 }
 
@@ -261,29 +311,29 @@ func (t *Tree) Len() int {
 // data pages (0 while the root is still a data page). Every exact-match
 // search visits exactly h+1 nodes.
 func (t *Tree) Height() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.rootLevel
 }
 
 // Options returns the tree's effective configuration.
 func (t *Tree) Options() Options { return t.opt }
 
-// Stats returns a snapshot of the structural event counters.
+// Stats returns a snapshot of the structural event counters. It is safe
+// to call concurrently with any other operation; counters touched by an
+// in-flight operation may or may not be reflected.
 func (t *Tree) Stats() OpStats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stats
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.stats.snapshot()
 }
 
 // ResetAccessCount zeroes the NodeAccesses counter (the other counters are
 // monotone by design) and returns the previous value.
 func (t *Tree) ResetAccessCount() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	v := t.stats.NodeAccesses
-	t.stats.NodeAccesses = 0
-	return v
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.stats.nodeAccesses.Swap(0)
 }
 
 // capacity returns the entry capacity of an index node at index level x.
@@ -304,12 +354,12 @@ func (t *Tree) addr(p geometry.Point) (region.BitString, error) {
 }
 
 func (t *Tree) fetchIndex(id page.ID) (*page.IndexNode, error) {
-	t.stats.NodeAccesses++
+	t.stats.nodeAccesses.Add(1)
 	return t.st.Index(id)
 }
 
 func (t *Tree) fetchData(id page.ID) (*page.DataPage, error) {
-	t.stats.NodeAccesses++
+	t.stats.nodeAccesses.Add(1)
 	return t.st.Data(id)
 }
 

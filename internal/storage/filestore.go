@@ -8,6 +8,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"bvtree/internal/page"
 	"bvtree/internal/vfs"
@@ -17,8 +18,20 @@ import (
 // slots; a node occupies a chain of one or more slots, so nodes may be
 // arbitrarily large (the BV-tree's level-scaled index pages of §7.3 simply
 // chain more slots). Slot 0 holds the store header. Freed slots are linked
-// into an intrusive free list. An LRU buffer pool caches slot frames and
-// writes dirty frames back on eviction and on Sync.
+// into an intrusive free list. A sharded LRU buffer pool caches slot
+// frames and writes dirty frames back on eviction and on Sync.
+//
+// Concurrency: mutations (Alloc, WriteNode, Free, Sync, Close) hold the
+// store lock exclusively; ReadNode and Stats hold it shared, so parallel
+// readers proceed together. The buffer pool is striped into poolShards
+// independent shards (latch per stripe), because even read-only traffic
+// mutates pool state — a miss admits a frame, a hit reorders the LRU — and
+// a single pool latch would serialise the very readers the shared lock
+// admits. Frame *contents* are only written under the exclusive lock (or
+// by the one reader that loads a missing frame, before it becomes visible
+// in the shard map), so readers may copy a frame's bytes without holding
+// its shard latch. Lock order: store lock → shard latch → state latch;
+// no path holds two shard latches at once.
 //
 // Crash safety: Sync is atomic. Before overwriting any slot it records the
 // old images in a rollback journal (path + ".journal"), fsyncs the
@@ -32,7 +45,7 @@ import (
 // relationship is unknown, so every subsequent operation returns
 // ErrPoisoned until the store is reopened.
 type FileStore struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex // exclusive for mutations, shared for reads
 	fs       vfs.FS
 	f        vfs.File
 	jf       vfs.File // rollback journal, created lazily on first Sync
@@ -40,14 +53,27 @@ type FileStore struct {
 	slotSize int
 	nextSlot uint64
 	freeHead uint64
-	stats    Stats
+	stats    Stats // counters updated atomically (reads run in parallel)
 
-	cap      int
+	shardCap int // frame capacity per pool shard
 	pinDirty bool
-	frames   map[uint64]*frame
-	lru      frameList
+	shards   [poolShards]poolShard
 	closed   bool
+
+	stateMu  sync.Mutex // guards poisoned; a read-path eviction can poison
 	poisoned error
+}
+
+// poolShards stripes the buffer pool. Shard selection is slot modulo
+// poolShards, so the slots of one chain spread across stripes.
+const poolShards = 16
+
+// poolShard is one stripe of the buffer pool: a latch, the resident
+// frames, and their LRU order.
+type poolShard struct {
+	mu     sync.Mutex
+	frames map[uint64]*frame
+	lru    frameList
 }
 
 type frame struct {
@@ -98,7 +124,10 @@ var storeCRC = crc32.MakeTable(crc32.Castagnoli)
 type FileStoreOptions struct {
 	// SlotSize is the physical slot size in bytes (default 4096).
 	SlotSize int
-	// PoolSlots is the buffer pool capacity in slots (default 1024).
+	// PoolSlots is the buffer pool capacity in slots (default 1024). The
+	// pool is striped into poolShards shards of PoolSlots/poolShards
+	// frames each (minimum one frame per shard, so very small capacities
+	// are rounded up to poolShards).
 	PoolSlots int
 	// PinDirty keeps dirty frames in memory until Sync instead of writing
 	// them back on eviction. With PinDirty the on-disk image only changes
@@ -107,7 +136,9 @@ type FileStoreOptions struct {
 	// on. The pool may exceed PoolSlots while dirty frames accumulate.
 	PinDirty bool
 	// FS is the filesystem seam (default vfs.OS). Tests substitute a
-	// fault-injecting implementation.
+	// fault-injecting implementation. Under concurrent readers the File
+	// it returns must support parallel ReadAt/WriteAt, as *os.File does;
+	// single-threaded fault-injection harnesses need not.
 	FS vfs.FS
 }
 
@@ -118,6 +149,20 @@ func (o *FileStoreOptions) fill() {
 	if o.FS == nil {
 		o.FS = vfs.OS{}
 	}
+}
+
+func initShards(sh *[poolShards]poolShard) {
+	for i := range sh {
+		sh[i].frames = make(map[uint64]*frame)
+	}
+}
+
+func shardCapFor(poolSlots int) int {
+	c := poolSlots / poolShards
+	if c < 1 {
+		c = 1
+	}
+	return c
 }
 
 // CreateFileStore creates a new store file, truncating any existing file.
@@ -140,10 +185,10 @@ func CreateFileStore(path string, opts FileStoreOptions) (*FileStore, error) {
 		slotSize: opts.SlotSize,
 		nextSlot: 1,
 		freeHead: 0,
-		cap:      opts.PoolSlots,
+		shardCap: shardCapFor(opts.PoolSlots),
 		pinDirty: opts.PinDirty,
-		frames:   make(map[uint64]*frame),
 	}
+	initShards(&s.shards)
 	if _, err := s.f.WriteAt(s.encodeHeader(), 0); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("storage: write header: %w", err)
@@ -166,12 +211,12 @@ func OpenFileStore(path string, opts FileStoreOptions) (*FileStore, error) {
 		return nil, fmt.Errorf("storage: open %s: %w", path, err)
 	}
 	s := &FileStore{
-		fs:     opts.FS,
-		f:      f,
-		path:   path,
-		cap:    opts.PoolSlots,
-		frames: make(map[uint64]*frame),
+		fs:       opts.FS,
+		f:        f,
+		path:     path,
+		shardCap: shardCapFor(opts.PoolSlots),
 	}
+	initShards(&s.shards)
 	s.pinDirty = opts.PinDirty
 	if err := s.openJournal(false); err != nil {
 		f.Close()
@@ -258,27 +303,34 @@ func (s *FileStore) checkFreeList() error {
 // payload capacity of one slot.
 func (s *FileStore) payload() int { return s.slotSize - slotHeaderSize }
 
-// usable gates every public operation (mu held).
+// usable gates every public operation (store lock held, shared or
+// exclusive).
 func (s *FileStore) usable() error {
 	if s.closed {
 		return ErrClosed
 	}
-	if s.poisoned != nil {
-		return fmt.Errorf("%w: %v", ErrPoisoned, s.poisoned)
+	s.stateMu.Lock()
+	p := s.poisoned
+	s.stateMu.Unlock()
+	if p != nil {
+		return fmt.Errorf("%w: %v", ErrPoisoned, p)
 	}
 	return nil
 }
 
 // poison records the first failed mutation and returns err. Every later
-// operation fails with ErrPoisoned.
+// operation fails with ErrPoisoned. It may be called from a read path (an
+// eviction write-back that fails), so it has its own latch.
 func (s *FileStore) poison(err error) error {
+	s.stateMu.Lock()
 	if s.poisoned == nil {
 		s.poisoned = err
 	}
+	s.stateMu.Unlock()
 	return err
 }
 
-// checkNext validates a slot-chain link read from slot (mu held).
+// checkNext validates a slot-chain link read from slot.
 func (s *FileStore) checkNext(slot, next uint64) error {
 	if next != 0 && (next >= s.nextSlot || next == slot) {
 		return fmt.Errorf("%w: slot %d links to invalid slot %d", ErrCorrupt, slot, next)
@@ -286,32 +338,44 @@ func (s *FileStore) checkNext(slot, next uint64) error {
 	return nil
 }
 
-// --- slot-level access through the buffer pool (mu held) ---
+// --- slot-level access through the sharded buffer pool ---
 
+// frameFor returns the pooled frame for slot, loading it from disk on a
+// miss when load is set. It takes the slot's shard latch for the whole
+// lookup/load/admit sequence, so concurrent misses on the same slot
+// serialise and exactly one frame per slot is ever resident. The caller
+// may read the returned frame's buffer without the latch; mutating it
+// requires the exclusive store lock.
 func (s *FileStore) frameFor(slot uint64, load bool) (*frame, error) {
-	if fr, ok := s.frames[slot]; ok {
-		s.stats.CacheHits++
-		s.lru.remove(fr)
-		s.lru.pushFront(fr)
+	sh := &s.shards[slot%poolShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if fr, ok := sh.frames[slot]; ok {
+		atomic.AddUint64(&s.stats.CacheHits, 1)
+		sh.lru.remove(fr)
+		sh.lru.pushFront(fr)
 		return fr, nil
 	}
-	s.stats.CacheMisses++
+	atomic.AddUint64(&s.stats.CacheMisses, 1)
 	fr := &frame{slot: slot, buf: make([]byte, s.slotSize)}
 	if load {
 		if _, err := s.f.ReadAt(fr.buf, int64(slot)*int64(s.slotSize)); err != nil {
 			return nil, fmt.Errorf("storage: read slot %d: %w", slot, err)
 		}
-		s.stats.SlotReads++
+		atomic.AddUint64(&s.stats.SlotReads, 1)
 	}
-	if err := s.admit(fr); err != nil {
+	if err := s.admitLocked(sh, fr); err != nil {
 		return nil, err
 	}
 	return fr, nil
 }
 
-func (s *FileStore) admit(fr *frame) error {
-	victim := s.lru.tail
-	for len(s.frames) >= s.cap && victim != nil {
+// admitLocked inserts fr into its shard (latch held), evicting from the
+// shard's LRU tail while the shard is over capacity. Dirty victims are
+// skipped when PinDirty pins them, written back otherwise.
+func (s *FileStore) admitLocked(sh *poolShard, fr *frame) error {
+	victim := sh.lru.tail
+	for len(sh.frames) >= s.shardCap && victim != nil {
 		prev := victim.prev
 		if victim.dirty && s.pinDirty {
 			// Dirty frames only reach the disk at Sync; skip them.
@@ -321,12 +385,12 @@ func (s *FileStore) admit(fr *frame) error {
 		if err := s.flushFrame(victim); err != nil {
 			return err
 		}
-		s.lru.remove(victim)
-		delete(s.frames, victim.slot)
+		sh.lru.remove(victim)
+		delete(sh.frames, victim.slot)
 		victim = prev
 	}
-	s.frames[fr.slot] = fr
-	s.lru.pushFront(fr)
+	sh.frames[fr.slot] = fr
+	sh.lru.pushFront(fr)
 	return nil
 }
 
@@ -337,7 +401,7 @@ func (s *FileStore) flushFrame(fr *frame) error {
 	if _, err := s.f.WriteAt(fr.buf, int64(fr.slot)*int64(s.slotSize)); err != nil {
 		return s.poison(fmt.Errorf("storage: write slot %d: %w", fr.slot, err))
 	}
-	s.stats.SlotWrites++
+	atomic.AddUint64(&s.stats.SlotWrites, 1)
 	fr.dirty = false
 	return nil
 }
@@ -400,18 +464,20 @@ func (s *FileStore) Alloc() (page.ID, error) {
 		fr.buf[i] = 0
 	}
 	fr.dirty = true
-	s.stats.Allocs++
+	atomic.AddUint64(&s.stats.Allocs, 1)
 	return page.ID(slot), nil
 }
 
 // ReadNode implements Store. It assembles the slot chain starting at id.
+// Reads hold the store lock shared: any number of them proceed in
+// parallel, contending only on the per-shard pool latches.
 func (s *FileStore) ReadNode(id page.ID) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if err := s.usable(); err != nil {
 		return nil, err
 	}
-	s.stats.NodeReads++
+	atomic.AddUint64(&s.stats.NodeReads, 1)
 	var out []byte
 	var hops uint64
 	slot := uint64(id)
@@ -446,7 +512,7 @@ func (s *FileStore) WriteNode(id page.ID, blob []byte) error {
 	if err := s.usable(); err != nil {
 		return err
 	}
-	s.stats.NodeWrites++
+	atomic.AddUint64(&s.stats.NodeWrites, 1)
 	slot := uint64(id)
 	off := 0
 	first := true
@@ -461,21 +527,23 @@ func (s *FileStore) WriteNode(id page.ID, blob []byte) error {
 			}
 			return err
 		}
-		n := len(blob) - off
-		if n > s.payload() {
-			n = s.payload()
-		}
-		copy(fr.buf[slotHeaderSize:], blob[off:off+n])
-		binary.LittleEndian.PutUint32(fr.buf[8:], uint32(n))
-		off += n
 		oldNext := binary.LittleEndian.Uint64(fr.buf)
 		if err := s.checkNext(slot, oldNext); err != nil {
 			return s.poison(err)
 		}
-		if off >= len(blob) {
+		n := len(blob) - off
+		if n > s.payload() {
+			n = s.payload()
+		}
+		if off+n >= len(blob) {
+			// Final slot of the new chain.
+			copy(fr.buf[slotHeaderSize:], blob[off:off+n])
+			binary.LittleEndian.PutUint32(fr.buf[8:], uint32(n))
 			binary.LittleEndian.PutUint64(fr.buf, 0)
 			fr.dirty = true
-			// Free any trailing slots of a previously longer chain.
+			// Free any trailing slots of a previously longer chain. fr is
+			// dirty before these pool operations, so an eviction they
+			// trigger writes it back rather than dropping the update.
 			for oldNext != 0 {
 				nf, err := s.frameFor(oldNext, true)
 				if err != nil {
@@ -506,9 +574,19 @@ func (s *FileStore) WriteNode(id page.ID, blob []byte) error {
 				nf.buf[i] = 0
 			}
 			nf.dirty = true
+			// Growing the chain touched other pool frames, which may have
+			// evicted the still-clean fr; re-pin it so the mutation below
+			// lands on the resident frame, not an orphaned copy.
+			fr, err = s.frameFor(slot, true)
+			if err != nil {
+				return s.poison(err)
+			}
 		}
+		copy(fr.buf[slotHeaderSize:], blob[off:off+n])
+		binary.LittleEndian.PutUint32(fr.buf[8:], uint32(n))
 		binary.LittleEndian.PutUint64(fr.buf, next)
 		fr.dirty = true
+		off += n
 		slot = next
 		first = false
 	}
@@ -521,7 +599,7 @@ func (s *FileStore) Free(id page.ID) error {
 	if err := s.usable(); err != nil {
 		return err
 	}
-	s.stats.Frees++
+	atomic.AddUint64(&s.stats.Frees, 1)
 	var hops uint64
 	slot := uint64(id)
 	for slot != 0 {
@@ -549,9 +627,9 @@ func (s *FileStore) Free(id page.ID) error {
 
 // Stats implements Store.
 func (s *FileStore) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return loadStats(&s.stats)
 }
 
 // Sync implements Store: atomically flushes dirty frames and the header.
@@ -580,10 +658,15 @@ func (s *FileStore) Sync() error {
 // reached the disk.
 func (s *FileStore) syncLocked() error {
 	var dirty []*frame
-	for _, fr := range s.frames {
-		if fr.dirty {
-			dirty = append(dirty, fr)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, fr := range sh.frames {
+			if fr.dirty {
+				dirty = append(dirty, fr)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(dirty, func(i, j int) bool { return dirty[i].slot < dirty[j].slot })
 	newHdr := s.encodeHeader()
@@ -625,14 +708,17 @@ func (s *FileStore) Close() error {
 		return nil
 	}
 	s.closed = true
-	if s.poisoned != nil {
+	s.stateMu.Lock()
+	poisoned := s.poisoned
+	s.stateMu.Unlock()
+	if poisoned != nil {
 		// The pool state is unknown; do not flush it over the last good
 		// checkpoint. Just release the descriptors.
 		s.f.Close()
 		if s.jf != nil {
 			s.jf.Close()
 		}
-		return fmt.Errorf("%w: %v", ErrPoisoned, s.poisoned)
+		return fmt.Errorf("%w: %v", ErrPoisoned, poisoned)
 	}
 	err := s.syncLocked()
 	cerr := s.f.Close()

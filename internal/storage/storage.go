@@ -8,11 +8,17 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"bvtree/internal/page"
 )
 
 // Store persists variable-length node blobs keyed by page ID.
+//
+// Implementations must be safe for concurrent use. Both stores in this
+// package serve ReadNode and Stats under a shared lock so parallel
+// readers do not serialise against each other; Alloc, WriteNode, Free,
+// Sync and Close are exclusive.
 type Store interface {
 	// Alloc reserves a new node ID with empty contents.
 	Alloc() (page.ID, error)
@@ -57,9 +63,12 @@ func (s Stats) Sub(t Stats) Stats {
 	}
 }
 
-// MemStore is an in-memory Store. It is safe for concurrent use.
+// MemStore is an in-memory Store. It is safe for concurrent use:
+// ReadNode and Stats hold a shared lock, mutations are exclusive. The
+// counters are atomic because concurrent readers bump NodeReads while
+// other readers snapshot Stats.
 type MemStore struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	blobs map[page.ID][]byte
 	next  page.ID
 	stats Stats
@@ -77,19 +86,19 @@ func (m *MemStore) Alloc() (page.ID, error) {
 	id := m.next
 	m.next++
 	m.blobs[id] = nil
-	m.stats.Allocs++
+	atomic.AddUint64(&m.stats.Allocs, 1)
 	return id, nil
 }
 
-// ReadNode implements Store.
+// ReadNode implements Store. Concurrent reads share the lock.
 func (m *MemStore) ReadNode(id page.ID) ([]byte, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	b, ok := m.blobs[id]
 	if !ok {
 		return nil, fmt.Errorf("storage: read of unallocated page %d", id)
 	}
-	m.stats.NodeReads++
+	atomic.AddUint64(&m.stats.NodeReads, 1)
 	out := make([]byte, len(b))
 	copy(out, b)
 	return out, nil
@@ -105,7 +114,7 @@ func (m *MemStore) WriteNode(id page.ID, blob []byte) error {
 	cp := make([]byte, len(blob))
 	copy(cp, blob)
 	m.blobs[id] = cp
-	m.stats.NodeWrites++
+	atomic.AddUint64(&m.stats.NodeWrites, 1)
 	return nil
 }
 
@@ -117,15 +126,29 @@ func (m *MemStore) Free(id page.ID) error {
 		return fmt.Errorf("storage: free of unallocated page %d", id)
 	}
 	delete(m.blobs, id)
-	m.stats.Frees++
+	atomic.AddUint64(&m.stats.Frees, 1)
 	return nil
 }
 
 // Stats implements Store.
 func (m *MemStore) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return loadStats(&m.stats)
+}
+
+// loadStats assembles a snapshot of atomically-updated counters.
+func loadStats(s *Stats) Stats {
+	return Stats{
+		Allocs:      atomic.LoadUint64(&s.Allocs),
+		Frees:       atomic.LoadUint64(&s.Frees),
+		NodeReads:   atomic.LoadUint64(&s.NodeReads),
+		NodeWrites:  atomic.LoadUint64(&s.NodeWrites),
+		SlotReads:   atomic.LoadUint64(&s.SlotReads),
+		SlotWrites:  atomic.LoadUint64(&s.SlotWrites),
+		CacheHits:   atomic.LoadUint64(&s.CacheHits),
+		CacheMisses: atomic.LoadUint64(&s.CacheMisses),
+	}
 }
 
 // Sync implements Store.
