@@ -1,15 +1,18 @@
 GO ?= go
 
-.PHONY: verify race torture fuzz bench
+.PHONY: verify race torture fuzz bench bench-write
 
 # The standard verification gate: static checks, build, full test suite,
 # and the concurrency stress subset under the race detector (the full
-# -race run stays in the dedicated `race` target).
+# -race run stays in the dedicated `race` target). The race smoke subset
+# covers the reader/writer stress tests and the group-commit/batch write
+# path (TestGroupCommit* in internal/wal, TestConcurrentBatch* in
+# internal/bvtree).
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race -run 'TestConcurrent' ./internal/bvtree ./internal/storage
+	$(GO) test -race -run 'TestConcurrent|TestGroupCommit' ./internal/bvtree ./internal/storage ./internal/wal
 
 # Full suite under the race detector, including the reader/writer stress
 # tests (TestConcurrent*) added with the parallel read path.
@@ -28,3 +31,9 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Write-path throughput: durable insert rate under sync-per-op,
+# group-commit and batched disciplines (8 writers against a file-backed
+# store); regenerates BENCH_writepath.json.
+bench-write:
+	$(GO) run ./cmd/bvbench -writepath

@@ -34,6 +34,7 @@ import (
 	ibv "bvtree/internal/bvtree"
 	"bvtree/internal/geometry"
 	"bvtree/internal/storage"
+	"bvtree/internal/wal"
 )
 
 // Point is an n-dimensional point with uint64 coordinates.
@@ -82,15 +83,35 @@ func NewPaged(st Store, opt Options) (*Tree, error) { return ibv.NewPaged(st, op
 // with (*Tree).Flush.
 func OpenPaged(st Store, cacheNodes int) (*Tree, error) { return ibv.OpenPaged(st, cacheNodes) }
 
-// DurableTree is a paged tree with a logical write-ahead log: every
-// Insert/Delete is fsynced to the log before it is applied, Checkpoint
-// persists the tree and empties the log, and OpenDurable replays
-// operations logged since the last checkpoint. Create the backing
-// FileStore with PinDirty so the on-disk image only changes at
-// checkpoints; a crash between checkpoints then loses nothing, while a
-// crash during a checkpoint itself is outside this layer's guarantees
-// (no page-level shadowing is performed).
+// DurableTree is a paged tree with a logical write-ahead log. Mutations
+// are group-committed: each is logged and applied, and acknowledged once
+// its log batch is fsynced — concurrent writers share syncs, and
+// InsertBatch/ApplyBatch amortise one sync over a whole batch.
+// Checkpoint persists the tree and empties the log, and OpenDurable
+// replays operations logged since the last checkpoint. Create the
+// backing FileStore with PinDirty so the on-disk image only changes at
+// checkpoints; crashes at any point — including mid-checkpoint, which
+// the store's rollback journal undoes — recover every acknowledged
+// operation. See DESIGN.md §7 for the failure model and §9 for the
+// write path.
 type DurableTree = ibv.DurableTree
+
+// DurableOptions tunes the durable write path: WAL group commit and the
+// background checkpointer. The zero value batches opportunistically and
+// runs no background checkpointer.
+type DurableOptions = ibv.DurableOptions
+
+// CheckpointConfig triggers background checkpoints by log size and/or
+// log age.
+type CheckpointConfig = ibv.CheckpointConfig
+
+// GroupConfig tunes WAL group commit (batch size cap, linger window,
+// sync-per-op fallback).
+type GroupConfig = wal.GroupConfig
+
+// BatchOp is one operation of a DurableTree.ApplyBatch or
+// Tree.ApplyBatch batch.
+type BatchOp = ibv.BatchOp
 
 // NewDurable creates a durable tree over a fresh store, logging to
 // walPath.
@@ -98,10 +119,22 @@ func NewDurable(st Store, walPath string, opt Options) (*DurableTree, error) {
 	return ibv.NewDurable(st, walPath, opt)
 }
 
+// NewDurableOpts is NewDurable with an explicit write-path
+// configuration.
+func NewDurableOpts(st Store, walPath string, opt Options, dopt DurableOptions) (*DurableTree, error) {
+	return ibv.NewDurableOpts(st, walPath, opt, dopt)
+}
+
 // OpenDurable reopens a durable tree, replaying the write-ahead log onto
 // the last checkpoint.
 func OpenDurable(st Store, walPath string, cacheNodes int) (*DurableTree, error) {
 	return ibv.OpenDurable(st, walPath, cacheNodes)
+}
+
+// OpenDurableOpts is OpenDurable with an explicit write-path
+// configuration.
+func OpenDurableOpts(st Store, walPath string, cacheNodes int, dopt DurableOptions) (*DurableTree, error) {
+	return ibv.OpenDurableOpts(st, walPath, cacheNodes, dopt)
 }
 
 // NewFileStore creates a file-backed page store at path (truncating any

@@ -6,12 +6,17 @@
 //	bvbench -exp fig7-1
 //	bvbench -exp all -scale 2
 //	bvbench -concurrency [-readers 1,2,4,8] [-duration 2s] [-json BENCH_concurrency.json]
+//	bvbench -writepath [-writers 8] [-writer-ops 2000] [-json BENCH_writepath.json]
 //
 // Each experiment prints the rows/series of the corresponding paper
 // artifact together with a "shape check" describing what to look for; see
 // DESIGN.md for the experiment index and EXPERIMENTS.md for recorded runs.
 // The -concurrency mode measures parallel read throughput against one
-// in-memory tree and writes the scaling table to a JSON file.
+// in-memory tree and writes the scaling table to a JSON file; rows whose
+// reader count exceeds the parallelism headroom (GOMAXPROCS < 2×readers)
+// are annotated as saturated. The -writepath mode measures durable insert
+// throughput under sync-per-op, group-commit and batched disciplines
+// against a file-backed store.
 package main
 
 import (
@@ -28,15 +33,28 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment ID to run, or \"all\"")
-		scale    = flag.Int("scale", 1, "workload scale multiplier")
-		list     = flag.Bool("list", false, "list experiments")
-		conc     = flag.Bool("concurrency", false, "run the concurrent read-throughput benchmark")
-		readers  = flag.String("readers", "1,2,4,8", "comma-separated reader goroutine counts for -concurrency")
-		duration = flag.Duration("duration", 2*time.Second, "measurement window per reader count for -concurrency")
-		jsonPath = flag.String("json", "BENCH_concurrency.json", "output file for the -concurrency report")
+		exp       = flag.String("exp", "", "experiment ID to run, or \"all\"")
+		scale     = flag.Int("scale", 1, "workload scale multiplier")
+		list      = flag.Bool("list", false, "list experiments")
+		conc      = flag.Bool("concurrency", false, "run the concurrent read-throughput benchmark")
+		readers   = flag.String("readers", "1,2,4,8", "comma-separated reader goroutine counts for -concurrency")
+		duration  = flag.Duration("duration", 2*time.Second, "measurement window per reader count for -concurrency")
+		writepath = flag.Bool("writepath", false, "run the durable write-throughput benchmark")
+		writers   = flag.Int("writers", 8, "concurrent writer goroutines for -writepath")
+		writerOps = flag.Int("writer-ops", 2000, "inserts per writer for -writepath")
+		jsonPath  = flag.String("json", "", "output file for the -concurrency / -writepath report")
 	)
 	flag.Parse()
+
+	if *writepath {
+		rep, err := bench.RunWritepath(os.Stdout, *writers, *writerOps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bvbench: writepath: %v\n", err)
+			os.Exit(1)
+		}
+		writeJSON(rep, *jsonPath, "BENCH_writepath.json")
+		return
+	}
 
 	if *conc {
 		counts, err := parseReaders(*readers)
@@ -49,16 +67,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bvbench: concurrency: %v\n", err)
 			os.Exit(1)
 		}
-		blob, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bvbench: %v\n", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "bvbench: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s\n", *jsonPath)
+		writeJSON(rep, *jsonPath, "BENCH_concurrency.json")
 		return
 	}
 
@@ -86,6 +95,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bvbench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// writeJSON serialises a report to path (or its mode default) and exits
+// on failure.
+func writeJSON(rep any, path, fallback string) {
+	if path == "" {
+		path = fallback
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bvbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bvbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 func parseReaders(s string) ([]int, error) {

@@ -21,14 +21,19 @@ import (
 // expected to be flat — the reader–writer lock removes the software
 // serialisation, but only additional cores turn that into throughput.
 type ConcurrencyReport struct {
-	Experiment string              `json:"experiment"`
-	Points     int                 `json:"points"`
-	Dims       int                 `json:"dims"`
-	CPUs       int                 `json:"cpus"`
-	GoMaxProcs int                 `json:"gomaxprocs"`
-	DurationMS int                 `json:"duration_ms"`
-	Mix        string              `json:"mix"`
-	Results    []ConcurrencyResult `json:"results"`
+	Experiment string `json:"experiment"`
+	Points     int    `json:"points"`
+	Dims       int    `json:"dims"`
+	CPUs       int    `json:"cpus"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	DurationMS int    `json:"duration_ms"`
+	Mix        string `json:"mix"`
+	// Warning is set when any measured row is saturated (see
+	// ConcurrencyResult.Saturated): the scaling column of such a run
+	// measures scheduler fairness, not parallel speedup, and must not be
+	// quoted as evidence either way.
+	Warning string              `json:"warning,omitempty"`
+	Results []ConcurrencyResult `json:"results"`
 }
 
 // ConcurrencyResult is one row of the scaling table.
@@ -38,6 +43,10 @@ type ConcurrencyResult struct {
 	Seconds   float64 `json:"seconds"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 	Speedup   float64 `json:"speedup"` // vs the 1-reader row
+	// Saturated marks rows where GOMAXPROCS < 2×readers: there is not
+	// enough parallelism headroom for the reader count to demonstrate
+	// scaling, so the row's speedup is not meaningful.
+	Saturated bool `json:"saturated,omitempty"`
 }
 
 // concurrencyMix describes the read mix each goroutine issues. Lookups
@@ -90,6 +99,7 @@ func RunConcurrency(w io.Writer, scale int, readerCounts []int, duration time.Du
 	fmt.Fprintf(w, "%8s %12s %10s %12s %8s\n", "readers", "ops", "secs", "ops/sec", "speedup")
 
 	var base float64
+	saturated := 0
 	for _, readers := range readerCounts {
 		ops, secs, err := readLoop(tr, pts, rects, readers, duration)
 		if err != nil {
@@ -105,10 +115,22 @@ func RunConcurrency(w io.Writer, scale int, readerCounts []int, duration time.Du
 			Seconds:   secs,
 			OpsPerSec: rate,
 			Speedup:   rate / base,
+			Saturated: rep.GoMaxProcs < 2*readers,
 		}
 		rep.Results = append(rep.Results, res)
-		fmt.Fprintf(w, "%8d %12d %10.2f %12.0f %7.2fx\n",
-			res.Readers, res.Ops, res.Seconds, res.OpsPerSec, res.Speedup)
+		mark := ""
+		if res.Saturated {
+			mark = "  [saturated]"
+			saturated++
+		}
+		fmt.Fprintf(w, "%8d %12d %10.2f %12.0f %7.2fx%s\n",
+			res.Readers, res.Ops, res.Seconds, res.OpsPerSec, res.Speedup, mark)
+	}
+	if saturated > 0 {
+		rep.Warning = fmt.Sprintf(
+			"%d of %d rows ran with GOMAXPROCS < 2×readers; their speedup column measures scheduler fairness, not parallel scaling",
+			saturated, len(rep.Results))
+		fmt.Fprintf(w, "WARNING: %s\n", rep.Warning)
 	}
 	return rep, nil
 }

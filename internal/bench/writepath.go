@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"bvtree/internal/bvtree"
+	"bvtree/internal/geometry"
+	"bvtree/internal/storage"
+	"bvtree/internal/wal"
+	"bvtree/internal/workload"
+)
+
+// WritepathReport is the JSON artifact emitted by bvbench -writepath. It
+// compares durable insert throughput at a fixed writer count across the
+// three write-path disciplines: one fsync per operation (the pre-group-
+// commit baseline), group commit (concurrent writers share one fsync),
+// and batched apply (InsertBatch frames many records into a single
+// group-committed unit). Syncs/Commits per mode show where the
+// amortisation comes from — the speedup column is throughput relative to
+// the sync-per-op row.
+type WritepathReport struct {
+	Experiment string            `json:"experiment"`
+	Writers    int               `json:"writers"`
+	OpsTotal   int               `json:"ops_total"`
+	Dims       int               `json:"dims"`
+	BatchSize  int               `json:"batch_size"`
+	CPUs       int               `json:"cpus"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Results    []WritepathResult `json:"results"`
+}
+
+// WritepathResult is one write-path discipline's row.
+type WritepathResult struct {
+	Mode      string  `json:"mode"`
+	Ops       int     `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Commits   uint64  `json:"commits"`
+	Syncs     uint64  `json:"syncs"`
+	OpsPerSyn float64 `json:"ops_per_sync"`
+	Speedup   float64 `json:"speedup"` // vs the sync-per-op row
+}
+
+// writepathBatchSize is the InsertBatch chunk each writer commits at a
+// time in batch mode: large enough to amortise the sync across many
+// records, small enough that a batch is still a plausible unit of work.
+const writepathBatchSize = 64
+
+// RunWritepath measures durable insert throughput with the given number
+// of concurrent writers splitting opsPerWriter*writers uniform 2-D
+// inserts, once per write-path discipline. Every mode runs against a
+// fresh file-backed store and WAL in a temporary directory, so the fsync
+// cost is the real device's. Progress goes to w; the returned report is
+// what bvbench serialises to BENCH_writepath.json.
+func RunWritepath(w io.Writer, writers, opsPerWriter int) (*WritepathReport, error) {
+	if writers < 1 {
+		writers = 1
+	}
+	if opsPerWriter < 1 {
+		opsPerWriter = 1
+	}
+	const dims = 2
+	total := writers * opsPerWriter
+	pts, err := workload.Generate(workload.Uniform, dims, total, 42)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &WritepathReport{
+		Experiment: "writepath",
+		Writers:    writers,
+		OpsTotal:   total,
+		Dims:       dims,
+		BatchSize:  writepathBatchSize,
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	fmt.Fprintf(w, "writepath: %d writers x %d inserts, %d CPUs, GOMAXPROCS=%d\n",
+		writers, opsPerWriter, rep.CPUs, rep.GoMaxProcs)
+	fmt.Fprintf(w, "%-14s %10s %10s %12s %10s %10s %9s\n",
+		"mode", "ops", "secs", "ops/sec", "syncs", "ops/sync", "speedup")
+
+	modes := []struct {
+		name  string
+		group wal.GroupConfig
+		batch bool
+	}{
+		{name: "sync-per-op", group: wal.GroupConfig{SyncPerOp: true}},
+		{name: "group-commit", group: wal.GroupConfig{}},
+		{name: "batch", group: wal.GroupConfig{}, batch: true},
+	}
+	var base float64
+	for _, m := range modes {
+		res, err := runWritepathMode(pts, writers, m.group, m.batch)
+		if err != nil {
+			return nil, fmt.Errorf("writepath %s: %w", m.name, err)
+		}
+		res.Mode = m.name
+		if base == 0 {
+			base = res.OpsPerSec
+		}
+		res.Speedup = res.OpsPerSec / base
+		rep.Results = append(rep.Results, *res)
+		fmt.Fprintf(w, "%-14s %10d %10.2f %12.0f %10d %10.1f %8.2fx\n",
+			res.Mode, res.Ops, res.Seconds, res.OpsPerSec, res.Syncs, res.OpsPerSyn, res.Speedup)
+	}
+	return rep, nil
+}
+
+// runWritepathMode times one discipline: writers goroutines insert
+// disjoint shares of pts into a fresh durable tree and the clock stops
+// when every insert has been acknowledged durable.
+func runWritepathMode(pts []geometry.Point, writers int, group wal.GroupConfig, batch bool) (*WritepathResult, error) {
+	dir, err := os.MkdirTemp("", "bvbench-writepath-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := storage.CreateFileStore(filepath.Join(dir, "t.db"),
+		storage.FileStoreOptions{PinDirty: true})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	d, err := bvtree.NewDurableOpts(st, filepath.Join(dir, "t.wal"),
+		bvtree.Options{Dims: 2, DataCapacity: 16, Fanout: 16},
+		bvtree.DurableOptions{Group: group})
+	if err != nil {
+		return nil, err
+	}
+
+	share := len(pts) / writers
+	errs := make(chan error, writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lo, hi := g*share, (g+1)*share
+			if batch {
+				for b := lo; b < hi; b += writepathBatchSize {
+					e := b + writepathBatchSize
+					if e > hi {
+						e = hi
+					}
+					ops := make([]bvtree.BatchOp, e-b)
+					for i := b; i < e; i++ {
+						ops[i-b] = bvtree.BatchOp{Point: pts[i], Payload: uint64(i)}
+					}
+					if err := d.ApplyBatch(ops); err != nil {
+						errs <- err
+						return
+					}
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					if err := d.Insert(pts[i], uint64(i)); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	commits, syncs := d.GroupStats()
+	ops := share * writers
+	res := &WritepathResult{
+		Ops:       ops,
+		Seconds:   secs,
+		OpsPerSec: float64(ops) / secs,
+		Commits:   commits,
+		Syncs:     syncs,
+	}
+	if syncs > 0 {
+		res.OpsPerSyn = float64(commits) / float64(syncs)
+	}
+	if got := d.Len(); got != ops {
+		d.Close()
+		return nil, fmt.Errorf("tree holds %d items after %d inserts", got, ops)
+	}
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,102 @@
+package bvtree
+
+// Allocation guards for the read hot path. The range walk must not
+// allocate per visited node (the old walk copied every node's entry
+// slice and materialised a brick per entry), and exact-match lookups must
+// stay within a small constant allocation budget. Guards use
+// testing.AllocsPerRun so a regression fails `go test`, not just a
+// benchmark eyeball.
+
+import (
+	"testing"
+
+	"bvtree/internal/geometry"
+	"bvtree/internal/workload"
+)
+
+func buildAllocTree(tb testing.TB, n int) (*Tree, []geometry.Point) {
+	tb.Helper()
+	pts, err := workload.Generate(workload.Uniform, 2, n, 33)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr, err := New(Options{Dims: 2, DataCapacity: 16, Fanout: 8})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i, p := range pts {
+		if err := tr.Insert(p, uint64(i)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return tr, pts
+}
+
+func TestLookupAllocs(t *testing.T) {
+	tr, pts := buildAllocTree(t, 4000)
+	p := pts[1234]
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := tr.Lookup(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Budget: the result slice, the interleaved address, and small
+	// per-address scratch. The descent itself is pooled.
+	if allocs > 8 {
+		t.Fatalf("Lookup allocates %.1f allocs/op, budget 8", allocs)
+	}
+}
+
+func TestRangeQueryAllocs(t *testing.T) {
+	tr, _ := buildAllocTree(t, 4000)
+	rect := geometry.UniverseRect(2)
+	count := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		count = 0
+		err := tr.RangeQuery(rect, func(geometry.Point, uint64) bool {
+			count++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if count != 4000 {
+		t.Fatalf("full-space scan visited %d of 4000 items", count)
+	}
+	// The walk visits hundreds of nodes and thousands of entries; a
+	// fixed budget far below those counts proves it allocates neither
+	// per node nor per entry.
+	if allocs > 32 {
+		t.Fatalf("RangeQuery allocates %.1f allocs/op over the whole space, budget 32", allocs)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tr, pts := buildAllocTree(b, 4000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Lookup(pts[i%len(pts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRangeQuery(b *testing.B) {
+	tr, _ := buildAllocTree(b, 4000)
+	// A quarter-space window: large enough to walk many nodes, small
+	// enough to show per-entry pruning cost.
+	rect := geometry.UniverseRect(2)
+	rect.Max[0] /= 2
+	rect.Max[1] /= 2
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := tr.RangeQuery(rect, func(geometry.Point, uint64) bool { n++; return true })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package bvtree
+
+import (
+	"sort"
+
+	"bvtree/internal/geometry"
+	"bvtree/internal/region"
+)
+
+// BatchOp is one operation of a batched mutation: an insert, or a delete
+// when Delete is set. Deletes that match nothing are not errors, exactly
+// as with Tree.Delete.
+type BatchOp struct {
+	Delete  bool
+	Point   geometry.Point
+	Payload uint64
+}
+
+// ApplyBatch applies ops in order under a single exclusive lock
+// acquisition, amortising the lock handoff and the end-of-op cache
+// maintenance over the whole batch. It stops at the first failing
+// operation and returns its error; the preceding operations remain
+// applied.
+func (t *Tree) ApplyBatch(ops []BatchOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	defer t.endOp()
+	for i := range ops {
+		op := &ops[i]
+		if op.Delete {
+			if _, err := t.deleteLocked(op.Point, op.Payload); err != nil {
+				return err
+			}
+		} else {
+			if err := t.insertLocked(op.Point, op.Payload); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sortBatchZOrder stably sorts ops by the z-order address of their point,
+// so successive descents of a batch walk neighbouring paths: the upper
+// tree nodes and the decoded-node cache lines they share stay hot from
+// one operation to the next. Stability is what keeps mixed batches
+// correct — two operations on the same point have equal addresses, and
+// their relative order (insert before delete, or the reverse) is
+// semantically significant.
+func (t *Tree) sortBatchZOrder(ops []BatchOp) error {
+	keys := make([]region.BitString, len(ops))
+	for i := range ops {
+		a, err := t.addr(ops[i].Point)
+		if err != nil {
+			return err
+		}
+		keys[i] = a
+	}
+	sort.Stable(&zorderedOps{keys: keys, ops: ops})
+	return nil
+}
+
+// zorderedOps sorts a batch and its precomputed address keys in lockstep.
+type zorderedOps struct {
+	keys []region.BitString
+	ops  []BatchOp
+}
+
+func (z *zorderedOps) Len() int           { return len(z.ops) }
+func (z *zorderedOps) Less(i, j int) bool { return z.keys[i].Compare(z.keys[j]) < 0 }
+func (z *zorderedOps) Swap(i, j int) {
+	z.keys[i], z.keys[j] = z.keys[j], z.keys[i]
+	z.ops[i], z.ops[j] = z.ops[j], z.ops[i]
+}

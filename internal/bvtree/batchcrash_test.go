@@ -1,0 +1,221 @@
+package bvtree
+
+// Crash torture for the batched write path. A batch is logged as N
+// framed records written in one buffer and synced once, so the torn-tail
+// truncation of recovery must land exactly on a record boundary: a crash
+// mid-group-commit recovers to a prefix of the batch at record
+// granularity, never a torn record applied. A crash during a background
+// checkpoint must replay from the prior epoch without losing any
+// acknowledged operation.
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"bvtree/internal/fault"
+	"bvtree/internal/geometry"
+	"bvtree/internal/storage"
+	"bvtree/internal/vfs"
+)
+
+// batchCrashOps builds an insert batch of 12 distinct points far from the
+// clustered baseline, payloads 500..511.
+func batchCrashOps() []BatchOp {
+	ops := make([]BatchOp, 12)
+	for i := range ops {
+		ops[i] = BatchOp{
+			Point:   geometry.Point{uint64(i+1) << 36, uint64(12-i) << 52},
+			Payload: uint64(500 + i),
+		}
+	}
+	return ops
+}
+
+// TestBatchCrashPrefixSweep crashes the WAL at the batch append's write
+// (error and torn, several tear offsets) and at its sync, and asserts
+// that recovery always yields an exact prefix of the z-order-sorted batch
+// sequence: error-at-write → empty prefix, error-at-sync → full batch
+// (the harness models completed writes as persistent), torn-at-write →
+// whatever whole records survived the tear.
+func TestBatchCrashPrefixSweep(t *testing.T) {
+	type crashCase struct {
+		name string
+		at   int // offset from walFS.Ops(): 1 = batch write, 2 = batch sync
+		mode fault.Mode
+		seed int64
+	}
+	cases := []crashCase{
+		{name: "error-at-write", at: 1, mode: fault.ModeError},
+		{name: "error-at-sync", at: 2, mode: fault.ModeError},
+	}
+	for s := int64(1); s <= 8; s++ {
+		cases = append(cases, crashCase{
+			name: fmt.Sprintf("torn-at-write-seed%d", s), at: 1, mode: fault.ModeTorn, seed: s,
+		})
+	}
+
+	sawPartial := false
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := newMatrixEnv(t)
+			ops := batchCrashOps()
+			e.walFS.SetPlan(fault.Plan{InjectAt: e.walFS.Ops() + tc.at, Mode: tc.mode, Seed: tc.seed})
+			err := e.d.ApplyBatch(ops)
+			if !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("ApplyBatch err = %v, want injected", err)
+			}
+			// ApplyBatch sorted ops in place before logging, so ops now IS
+			// the log order the prefix must follow.
+			d := e.reopen(t) // asserts baseline intact + invariants hold
+
+			prefix := len(ops)
+			for i := range ops {
+				found, err := contains(d.Tree, ops[i].Point, ops[i].Payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !found {
+					prefix = i
+					break
+				}
+			}
+			for i := prefix; i < len(ops); i++ {
+				found, err := contains(d.Tree, ops[i].Point, ops[i].Payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if found {
+					t.Fatalf("recovered ops are not a prefix: op %d present but op %d absent", i, prefix)
+				}
+			}
+			if d.Len() != len(e.base)+prefix {
+				t.Fatalf("Len=%d, want baseline %d + prefix %d", d.Len(), len(e.base), prefix)
+			}
+			switch {
+			case tc.mode == fault.ModeError && tc.at == 1 && prefix != 0:
+				t.Fatalf("write never reached the file but %d batch records recovered", prefix)
+			case tc.mode == fault.ModeError && tc.at == 2 && prefix != len(ops):
+				t.Fatalf("whole batch was written before the failed sync but only %d records recovered", prefix)
+			}
+			if prefix > 0 && prefix < len(ops) {
+				sawPartial = true
+			}
+			t.Logf("%s: recovered prefix %d of %d", tc.name, prefix, len(ops))
+		})
+	}
+	if !sawPartial {
+		t.Fatal("no torn case produced a strictly partial prefix; the sweep is not exercising record-granularity truncation")
+	}
+}
+
+// TestBatchCrashDuringBackgroundCheckpoint sweeps a crash across the
+// store operations of a workload whose size-triggered background
+// checkpointer runs underneath foreground inserts. The fault lands
+// either on a foreground allocation (file extension) or inside the
+// background checkpoint's flush — the sweep classifies each hit and
+// requires that several land inside the checkpoint. Either way the store
+// is poisoned; reopening rolls any interrupted flush back to the prior
+// epoch and replays the log, so every acknowledged insert must be
+// present.
+func TestBatchCrashDuringBackgroundCheckpoint(t *testing.T) {
+	checkpointCrashes := 0
+	const sweep = 80
+	for k := 1; k <= sweep; k++ {
+		storeFS := fault.NewFS(vfs.OS{}, fault.Plan{})
+		dir := t.TempDir()
+		st, err := storage.CreateFileStore(filepath.Join(dir, "t.db"),
+			storage.FileStoreOptions{SlotSize: 256, PoolSlots: 64, PinDirty: true, FS: storeFS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		walPath := filepath.Join(dir, "t.wal")
+		d, err := NewDurableOpts(st, walPath, Options{Dims: 2, DataCapacity: 8, Fanout: 8},
+			DurableOptions{Checkpoint: CheckpointConfig{MaxLogBytes: 256}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A durable baseline epoch, below the size trigger so the
+		// background checkpointer has not yet run.
+		type ack struct {
+			p       geometry.Point
+			payload uint64
+		}
+		var acked []ack
+		for i := 0; i < 20; i++ {
+			p := geometry.Point{uint64(i+1) << 30, uint64(i+1) << 45}
+			if err := d.Insert(p, uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+			acked = append(acked, ack{p, uint64(i)})
+		}
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		// Arm the k-th store operation from here. Foreground inserts still
+		// reach the store file through eager slot extension, so the fault
+		// lands either on one of those truncates or inside the background
+		// checkpoint the inserts trip; cpErr distinguishes the two.
+		storeFS.SetPlan(fault.Plan{InjectAt: storeFS.Ops() + k, Mode: fault.ModeError})
+		for i := 0; i < 400 && !storeFS.Injected(); i++ {
+			p := geometry.Point{uint64(i+1) << 29, uint64(400-i) << 47}
+			err := d.Insert(p, uint64(1000+i))
+			if err != nil {
+				// A crash (wherever it landed) poisons the store; inserts
+				// from then on fail and are not acknowledged.
+				if !errors.Is(err, storage.ErrPoisoned) && !errors.Is(err, fault.ErrInjected) {
+					t.Fatalf("k=%d: insert err = %v, want ErrPoisoned or injected", k, err)
+				}
+				break
+			}
+			acked = append(acked, ack{p, uint64(1000 + i)})
+		}
+		// stopCheckpointer joins the goroutine, waiting out any in-flight
+		// checkpoint (a poisoned store fails it fast).
+		cpErr := d.stopCheckpointer()
+
+		if !storeFS.Injected() {
+			t.Fatalf("k=%d: fault never fired across %d inserts; the sweep offset is past the workload", k, 400)
+		}
+		if errors.Is(cpErr, fault.ErrInjected) {
+			// The fault fired inside the background checkpoint's own I/O.
+			checkpointCrashes++
+		}
+
+		// Crash: abandon the poisoned store (its descriptors close without
+		// flushing) and recover from the real filesystem.
+		storeFS.CloseAll()
+		st2, err := storage.OpenFileStore(filepath.Join(dir, "t.db"), storage.FileStoreOptions{PinDirty: true})
+		if err != nil {
+			t.Fatalf("k=%d: reopen store: %v", k, err)
+		}
+		re, err := OpenDurable(st2, walPath, 0)
+		if err != nil {
+			st2.Close()
+			t.Fatalf("k=%d: reopen tree: %v", k, err)
+		}
+		if err := re.Validate(true); err != nil {
+			t.Fatalf("k=%d: invariants after recovery: %v", k, err)
+		}
+		for _, a := range acked {
+			found, err := contains(re.Tree, a.p, a.payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !found {
+				t.Fatalf("k=%d: acknowledged insert payload %d lost across background-checkpoint crash", k, a.payload)
+			}
+		}
+		if err := re.Close(); err != nil {
+			t.Fatalf("k=%d: close recovered tree: %v", k, err)
+		}
+		if err := st2.Close(); err != nil {
+			t.Fatalf("k=%d: close recovered store: %v", k, err)
+		}
+	}
+	if checkpointCrashes < 3 {
+		t.Fatalf("only %d of %d sweep points crashed inside the background checkpoint; widen the sweep", checkpointCrashes, sweep)
+	}
+	t.Logf("swept %d crash points, %d inside the background checkpoint", sweep, checkpointCrashes)
+}

@@ -19,6 +19,12 @@ func (t *Tree) Delete(p geometry.Point, payload uint64) (bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	defer t.endOp()
+	return t.deleteLocked(p, payload)
+}
+
+// deleteLocked is Delete's body, factored out so ApplyBatch can run many
+// deletes under one exclusive lock acquisition.
+func (t *Tree) deleteLocked(p geometry.Point, payload uint64) (bool, error) {
 	key, err := t.addr(p)
 	if err != nil {
 		return false, err
@@ -43,19 +49,26 @@ func (t *Tree) Delete(p geometry.Point, payload uint64) (bool, error) {
 	}
 	dp, err := t.fetchData(d.dataID)
 	if err != nil {
+		putDescent(d)
 		return false, err
 	}
 	if !removeItem(dp, p, payload) {
+		putDescent(d)
 		return false, nil
 	}
 	t.size--
 	if err := t.st.SaveData(d.dataID, dp); err != nil {
+		putDescent(d)
 		return false, err
 	}
 	if len(dp.Items) < t.minDataOccupancy() {
-		if err := t.mergeUnderfullData(ctx, d, dp); err != nil {
+		err := t.mergeUnderfullData(ctx, d, dp)
+		putDescent(d)
+		if err != nil {
 			return false, err
 		}
+	} else {
+		putDescent(d)
 	}
 	if err := t.contractRoot(); err != nil {
 		return false, err
@@ -221,17 +234,19 @@ func (t *Tree) dissolveRegion(victimID, nodeID page.ID, node *page.IndexNode) (b
 		if err != nil {
 			return true, err
 		}
-		tp, err := t.fetchData(dd.dataID)
+		dataID, dataSrcID := dd.dataID, dd.dataSrcID
+		putDescent(dd)
+		tp, err := t.fetchData(dataID)
 		if err != nil {
 			return true, err
 		}
 		tp.Items = append(tp.Items, it)
-		if err := t.st.SaveData(dd.dataID, tp); err != nil {
+		if err := t.st.SaveData(dataID, tp); err != nil {
 			return true, err
 		}
 		if len(tp.Items) > t.opt.DataCapacity {
 			t.stats.resplits.Add(1)
-			if err := t.splitDataPage(c2, dd.dataID, dd.dataSrcID); err != nil {
+			if err := t.splitDataPage(c2, dataID, dataSrcID); err != nil {
 				return true, err
 			}
 		}

@@ -11,45 +11,88 @@ import (
 )
 
 // DurableTree wraps a paged Tree with a logical write-ahead log: every
-// Insert and Delete is appended (and fsynced) to the log before it is
-// applied, and Checkpoint persists the tree and empties the log. Opening
-// after a crash replays the operations logged since the last checkpoint
-// onto the checkpointed tree state, so no acknowledged update is lost.
+// mutation is enqueued into a group-committed log batch and applied to the
+// tree, and the caller's ack is withheld until the log batch is fsynced.
+// Checkpoint persists the tree and empties the log. Opening after a crash
+// replays the operations logged since the last checkpoint onto the
+// checkpointed tree state, so no acknowledged update is lost.
 //
 // The durability contract, which internal/fault's torture harness sweeps
-// exhaustively: an operation that returned nil survives any crash; the
-// single operation in flight at a crash either happened completely or not
-// at all; operations never attempted leave no trace. Checkpoints are tied
-// to the store by an epoch number — recovery replays the log only when
-// its epoch matches the store's, so a crash between the checkpoint flush
-// and the log reset cannot double-apply records.
+// exhaustively: an operation that returned nil survives any crash; an
+// operation in flight at a crash either happened completely or not at all;
+// operations never attempted leave no trace. Batched operations
+// (InsertBatch/ApplyBatch) recover to a record-granularity prefix of the
+// batch. Checkpoints are tied to the store by an epoch number — recovery
+// replays the log only when its epoch matches the store's, so a crash
+// between the checkpoint flush and the log reset cannot double-apply
+// records.
 //
-// Concurrency: the wrapper's mutex guards only the log, and only the
-// mutating operations (Insert, Delete, Checkpoint, LogSize, Close) take
-// it. Read operations are promoted unchanged from the embedded Tree and
-// never touch the WAL mutex — they run under the tree's shared lock, in
-// parallel with each other and blocked only by an in-flight mutation's
-// tree-level exclusive section, not by its WAL fsync.
+// Write-path protocol (group commit). A mutation (1) encodes its log
+// record, (2) takes the order lock d.mu, enqueues the record into the
+// group committer's forming batch AND applies the operation to the tree,
+// (3) releases d.mu and waits for the batch's single fsync before
+// acknowledging. Enqueue and apply share one critical section, so the log
+// order always equals the apply order — recovery replays a strict prefix
+// of exactly the sequence the live tree executed. The fsync happens
+// outside d.mu, which is the whole point: while one batch's leader is in
+// fsync, other writers enqueue-and-apply under d.mu and pile onto the next
+// batch, so one disk sync is amortised over every writer that arrived
+// during it. A mutation that fails the fsync wait returns the error and
+// poisons the committer; the applied-but-unlogged state is then
+// unreachable through the write path (every later mutation fails) and the
+// correct recovery is to discard the handle and reopen, which replays the
+// durable prefix.
+//
+// Concurrency: the wrapper's mutex guards the log enqueue order, and only
+// the mutating operations take it. Read operations are promoted unchanged
+// from the embedded Tree and never touch the WAL mutex — they run under
+// the tree's shared lock, in parallel with each other, blocked only by an
+// in-flight mutation's tree-level exclusive section, never by its fsync.
 type DurableTree struct {
 	*Tree
-	mu  sync.Mutex // serialises log access across Insert/Delete/Checkpoint/Close
+	mu  sync.Mutex // serialises log enqueue + apply; see the protocol above
 	log *wal.Log
+	gc  *wal.GroupCommitter
+
+	cp *checkpointer // non-nil while a background checkpointer runs
+}
+
+// DurableOptions tunes the durable write path. The zero value is the
+// default group-commit configuration with no background checkpointer.
+type DurableOptions struct {
+	// Group configures WAL group commit (see wal.GroupConfig). The zero
+	// value batches opportunistically with no added latency.
+	Group wal.GroupConfig
+	// Checkpoint, when either trigger is set, starts a background
+	// checkpointer (see CheckpointConfig).
+	Checkpoint CheckpointConfig
 }
 
 // NewDurable creates a durable tree over a fresh store, logging to
 // walPath.
 func NewDurable(st storage.Store, walPath string, opt Options) (*DurableTree, error) {
+	return NewDurableOpts(st, walPath, opt, DurableOptions{})
+}
+
+// NewDurableOpts is NewDurable with an explicit write-path configuration.
+func NewDurableOpts(st storage.Store, walPath string, opt Options, dopt DurableOptions) (*DurableTree, error) {
 	l, err := wal.Open(walPath)
 	if err != nil {
 		return nil, err
 	}
-	return NewDurableLog(st, l, opt)
+	return NewDurableLogOpts(st, l, opt, dopt)
 }
 
 // NewDurableLog is NewDurable over an already-open log (e.g. one opened
 // through a fault-injecting filesystem). The tree takes ownership of the
 // log, closing it on error.
 func NewDurableLog(st storage.Store, l *wal.Log, opt Options) (*DurableTree, error) {
+	return NewDurableLogOpts(st, l, opt, DurableOptions{})
+}
+
+// NewDurableLogOpts is NewDurableLog with an explicit write-path
+// configuration.
+func NewDurableLogOpts(st storage.Store, l *wal.Log, opt Options, dopt DurableOptions) (*DurableTree, error) {
 	tr, err := NewPaged(st, opt)
 	if err != nil {
 		l.Close()
@@ -59,22 +102,35 @@ func NewDurableLog(st storage.Store, l *wal.Log, opt Options) (*DurableTree, err
 		l.Close()
 		return nil, err
 	}
-	return &DurableTree{Tree: tr, log: l}, nil
+	d := &DurableTree{Tree: tr, log: l, gc: wal.NewGroupCommitter(l, dopt.Group)}
+	d.startCheckpointer(dopt.Checkpoint)
+	return d, nil
 }
 
 // OpenDurable reopens a durable tree: the checkpointed state is loaded
 // from the store and any operations logged after it are replayed.
 func OpenDurable(st storage.Store, walPath string, cacheNodes int) (*DurableTree, error) {
+	return OpenDurableOpts(st, walPath, cacheNodes, DurableOptions{})
+}
+
+// OpenDurableOpts is OpenDurable with an explicit write-path configuration.
+func OpenDurableOpts(st storage.Store, walPath string, cacheNodes int, dopt DurableOptions) (*DurableTree, error) {
 	l, err := wal.Open(walPath)
 	if err != nil {
 		return nil, err
 	}
-	return OpenDurableLog(st, l, cacheNodes)
+	return OpenDurableLogOpts(st, l, cacheNodes, dopt)
 }
 
 // OpenDurableLog is OpenDurable over an already-open log. The tree takes
 // ownership of the log, closing it on error.
 func OpenDurableLog(st storage.Store, l *wal.Log, cacheNodes int) (*DurableTree, error) {
+	return OpenDurableLogOpts(st, l, cacheNodes, DurableOptions{})
+}
+
+// OpenDurableLogOpts is OpenDurableLog with an explicit write-path
+// configuration.
+func OpenDurableLogOpts(st storage.Store, l *wal.Log, cacheNodes int, dopt DurableOptions) (*DurableTree, error) {
 	tr, err := OpenPaged(st, cacheNodes)
 	if err != nil {
 		l.Close()
@@ -99,6 +155,8 @@ func OpenDurableLog(st storage.Store, l *wal.Log, cacheNodes int) (*DurableTree,
 		l.Close()
 		return nil, fmt.Errorf("bvtree: %w: wal epoch %d ahead of store checkpoint epoch %d", wal.ErrCorrupt, l.Epoch(), tr.Epoch())
 	}
+	d.gc = wal.NewGroupCommitter(l, dopt.Group)
+	d.startCheckpointer(dopt.Checkpoint)
 	return d, nil
 }
 
@@ -107,15 +165,29 @@ const (
 	opDelete byte = 2
 )
 
-func encodeOp(op byte, p geometry.Point, payload uint64) []byte {
-	rec := make([]byte, 0, 2+8*len(p)+8)
+// recPool recycles log-record encode buffers. A record is in flight (and
+// must stay untouched) from Enqueue until the committer's Wait returns, so
+// buffers go back to the pool only after the group sync.
+var recPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2+8*geometry.MaxDims+8)
+	return &b
+}}
+
+// encodeOp frames one logical operation into a pooled buffer. Release
+// with putRec after the record is durable.
+func encodeOp(op byte, p geometry.Point, payload uint64) *[]byte {
+	bp := recPool.Get().(*[]byte)
+	rec := (*bp)[:0]
 	rec = append(rec, op, byte(len(p)))
 	for _, c := range p {
 		rec = binary.LittleEndian.AppendUint64(rec, c)
 	}
 	rec = binary.LittleEndian.AppendUint64(rec, payload)
-	return rec
+	*bp = rec
+	return bp
 }
+
+func putRec(bp *[]byte) { recPool.Put(bp) }
 
 func (d *DurableTree) apply(rec []byte) error {
 	if len(rec) < 2 {
@@ -141,30 +213,113 @@ func (d *DurableTree) apply(rec []byte) error {
 	}
 }
 
-// Insert logs the operation durably, then applies it.
-func (d *DurableTree) Insert(p geometry.Point, payload uint64) error {
+// commitOne runs the group-commit protocol for a single record: enqueue
+// and apply under the order lock, then wait for the group sync outside
+// it. It returns the apply result (preferring apply errors, which carry
+// the structural failure) and whether the record became durable.
+func (d *DurableTree) commitOne(bp *[]byte, apply func() error) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := d.log.Append(encodeOp(opInsert, p, payload)); err != nil {
+	t, err := d.gc.Enqueue(*bp)
+	if err != nil {
+		d.mu.Unlock()
+		putRec(bp)
 		return err
 	}
-	if err := d.log.Sync(); err != nil {
-		return err
+	aerr := apply()
+	d.kickIfLogFull()
+	d.mu.Unlock()
+	werr := d.gc.Wait(t)
+	putRec(bp)
+	if aerr != nil {
+		return aerr
 	}
-	return d.Tree.Insert(p, payload)
+	return werr
 }
 
-// Delete logs the operation durably, then applies it.
+// Insert logs the operation as part of a group commit and applies it; it
+// returns once the record is durable.
+func (d *DurableTree) Insert(p geometry.Point, payload uint64) error {
+	return d.commitOne(encodeOp(opInsert, p, payload), func() error {
+		return d.Tree.Insert(p, payload)
+	})
+}
+
+// Delete logs the operation as part of a group commit and applies it; it
+// returns once the record is durable.
 func (d *DurableTree) Delete(p geometry.Point, payload uint64) (bool, error) {
+	var ok bool
+	err := d.commitOne(encodeOp(opDelete, p, payload), func() error {
+		var aerr error
+		ok, aerr = d.Tree.Delete(p, payload)
+		return aerr
+	})
+	if err != nil {
+		return false, err
+	}
+	return ok, nil
+}
+
+// InsertBatch inserts points[i] with payload payloads[i] as one logged
+// batch: the records are group-committed contiguously with a single sync,
+// and the tree applies them under a single lock acquisition, in z-order,
+// so successive descents share upper-tree nodes. A crash during the batch
+// recovers to a record-granularity prefix of it.
+func (d *DurableTree) InsertBatch(points []geometry.Point, payloads []uint64) error {
+	if len(points) != len(payloads) {
+		return fmt.Errorf("bvtree: InsertBatch: %d points but %d payloads", len(points), len(payloads))
+	}
+	ops := make([]BatchOp, len(points))
+	for i := range points {
+		ops[i] = BatchOp{Point: points[i], Payload: payloads[i]}
+	}
+	return d.ApplyBatch(ops)
+}
+
+// ApplyBatch logs and applies a mixed batch of inserts and deletes as one
+// group-committed unit. The batch is first stably sorted by z-order
+// (operations on the same point keep their relative order), then logged
+// contiguously and applied in the same order under a single tree lock
+// acquisition. It returns once the whole batch is durable. On an apply
+// error the batch's applied prefix remains, exactly as with sequential
+// operations.
+func (d *DurableTree) ApplyBatch(ops []BatchOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if err := d.Tree.sortBatchZOrder(ops); err != nil {
+		return err
+	}
+	bufs := make([]*[]byte, len(ops))
+	recs := make([][]byte, len(ops))
+	for i := range ops {
+		op := opInsert
+		if ops[i].Delete {
+			op = opDelete
+		}
+		bufs[i] = encodeOp(op, ops[i].Point, ops[i].Payload)
+		recs[i] = *bufs[i]
+	}
+	release := func() {
+		for _, bp := range bufs {
+			putRec(bp)
+		}
+	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := d.log.Append(encodeOp(opDelete, p, payload)); err != nil {
-		return false, err
+	t, err := d.gc.EnqueueBatch(recs)
+	if err != nil {
+		d.mu.Unlock()
+		release()
+		return err
 	}
-	if err := d.log.Sync(); err != nil {
-		return false, err
+	aerr := d.Tree.ApplyBatch(ops)
+	d.kickIfLogFull()
+	d.mu.Unlock()
+	werr := d.gc.Wait(t)
+	release()
+	if aerr != nil {
+		return aerr
 	}
-	return d.Tree.Delete(p, payload)
+	return werr
 }
 
 // Checkpoint persists the tree state under a new checkpoint epoch and
@@ -179,7 +334,14 @@ func (d *DurableTree) Checkpoint() error {
 	return d.checkpointLocked()
 }
 
+// checkpointLocked runs under d.mu, which blocks new enqueues; draining
+// the group committer then guarantees no in-flight batch can append
+// pre-checkpoint records after the log reset stamps the new epoch (they
+// would replay as post-checkpoint operations and double-apply).
 func (d *DurableTree) checkpointLocked() error {
+	if err := d.gc.Drain(); err != nil {
+		return err
+	}
 	d.Tree.advanceEpoch()
 	if err := d.Tree.Flush(); err != nil {
 		return err
@@ -195,14 +357,29 @@ func (d *DurableTree) LogSize() int64 {
 	return d.log.Size()
 }
 
-// Close checkpoints and closes the log. The page store remains the
-// caller's to close.
+// GroupStats reports the group committer's running totals: records
+// committed and group syncs performed. Their ratio is the write-path
+// amortisation achieved so far.
+func (d *DurableTree) GroupStats() (commits, syncs uint64) {
+	return d.gc.Commits(), d.gc.Syncs()
+}
+
+// Close stops the background checkpointer (if any), checkpoints, and
+// closes the log. The page store remains the caller's to close.
+//
+// Shutdown ordering (see DESIGN.md §9): the checkpointer is stopped
+// before d.mu is taken — it acquires d.mu for its own checkpoints, so
+// stopping it from inside the lock would deadlock.
 func (d *DurableTree) Close() error {
+	cpErr := d.stopCheckpointer()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.checkpointLocked(); err != nil {
 		d.log.Close()
 		return err
 	}
-	return d.log.Close()
+	if err := d.log.Close(); err != nil {
+		return err
+	}
+	return cpErr
 }

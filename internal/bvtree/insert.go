@@ -26,6 +26,12 @@ func (t *Tree) Insert(p geometry.Point, payload uint64) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	defer t.endOp()
+	return t.insertLocked(p, payload)
+}
+
+// insertLocked is Insert's body, factored out so ApplyBatch can run many
+// inserts under one exclusive lock acquisition.
+func (t *Tree) insertLocked(p geometry.Point, payload uint64) error {
 	key, err := t.addr(p)
 	if err != nil {
 		return err
@@ -53,17 +59,19 @@ func (t *Tree) Insert(p geometry.Point, payload uint64) error {
 	if err != nil {
 		return err
 	}
-	dp, err := t.fetchData(d.dataID)
+	dataID, dataSrcID := d.dataID, d.dataSrcID
+	putDescent(d)
+	dp, err := t.fetchData(dataID)
 	if err != nil {
 		return err
 	}
 	dp.Items = append(dp.Items, item)
 	t.size++
-	if err := t.st.SaveData(d.dataID, dp); err != nil {
+	if err := t.st.SaveData(dataID, dp); err != nil {
 		return err
 	}
 	if len(dp.Items) > t.opt.DataCapacity {
-		return t.splitDataPage(ctx, d.dataID, d.dataSrcID)
+		return t.splitDataPage(ctx, dataID, dataSrcID)
 	}
 	return nil
 }
@@ -213,11 +221,13 @@ func (t *Tree) resplitOversized(ctx *opCtx, ids ...page.ID) error {
 			if err != nil {
 				return err
 			}
-			if d.dataID != id {
-				return fmt.Errorf("bvtree: oversized page %d not reachable by its own items (got %d)", id, d.dataID)
+			gotID, srcID := d.dataID, d.dataSrcID
+			putDescent(d)
+			if gotID != id {
+				return fmt.Errorf("bvtree: oversized page %d not reachable by its own items (got %d)", id, gotID)
 			}
 			before := t.stats.dataSplits.Load() + t.stats.softOverflows.Load()
-			if err := t.splitDataPage(c2, id, d.dataSrcID); err != nil {
+			if err := t.splitDataPage(c2, id, srcID); err != nil {
 				return err
 			}
 			if t.stats.dataSplits.Load()+t.stats.softOverflows.Load() == before {

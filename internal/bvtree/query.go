@@ -40,12 +40,14 @@ func (t *Tree) rangeNode(id page.ID, rect geometry.Rect, visit Visitor) (bool, e
 	if err != nil {
 		return false, err
 	}
-	// Copy the entry list: visiting children may evict/replace the node in
-	// a paged store between fetches.
-	entries := make([]page.Entry, len(n.Entries))
-	copy(entries, n.Entries)
-	for _, e := range entries {
-		if !rect.Intersects(region.Brick(e.Key, t.opt.Dims)) {
+	// Iterating n.Entries in place is safe under the shared lock: cache
+	// eviction runs only in endOp (after the query releases the lock),
+	// mutations hold the exclusive lock, and a concurrent reader
+	// re-decoding the node into the cache installs a fresh node object
+	// rather than touching this one.
+	for i := range n.Entries {
+		e := &n.Entries[i]
+		if !region.BrickIntersects(e.Key, t.opt.Dims, rect) {
 			continue
 		}
 		var cont bool

@@ -2,6 +2,7 @@ package bvtree
 
 import (
 	"fmt"
+	"sync"
 
 	"bvtree/internal/geometry"
 	"bvtree/internal/page"
@@ -41,6 +42,43 @@ type descent struct {
 	// maxGuardSet is the largest guard-set size observed (paper bound:
 	// at most x-1 members at index level x).
 	maxGuardSet int
+	// guards is the per-level guard-set scratch, sized to the root level
+	// at the start of the descent. It lives on the descent so the pooled
+	// object carries its capacity from one operation to the next.
+	guards []*guardRef
+}
+
+// descentPool recycles descent objects — and, through them, the steps,
+// guardSrc and guards slices — across operations. Exact-match descents are
+// the hot path of every lookup, insert and delete, and without pooling
+// each one costs two allocations before it reads a single node.
+var descentPool = sync.Pool{New: func() any { return new(descent) }}
+
+// getDescent returns a reset descent whose guard set holds `levels`
+// slots. Callers release it with putDescent once no field is needed; on
+// error paths the object may simply be dropped for the GC.
+func getDescent(levels int) *descent {
+	d := descentPool.Get().(*descent)
+	d.steps = d.steps[:0]
+	d.guardSrc = d.guardSrc[:0]
+	if cap(d.guards) < levels {
+		d.guards = make([]*guardRef, levels)
+	}
+	d.guards = d.guards[:levels]
+	for i := range d.guards {
+		d.guards[i] = nil
+	}
+	d.dataID = page.Nil
+	d.dataSrcID = page.Nil
+	d.dataSrcIdx = -1
+	d.maxGuardSet = 0
+	return d
+}
+
+func putDescent(d *descent) {
+	if d != nil {
+		descentPool.Put(d)
+	}
 }
 
 // descendPoint runs the exact-match search for a full point address. The
@@ -50,14 +88,12 @@ type descent struct {
 // level x the search follows whichever of the best unpromoted entry and
 // the guard-set member of level x-1 matches the target better.
 func (t *Tree) descendPoint(target region.BitString) (*descent, error) {
-	d := &descent{}
+	d := getDescent(t.rootLevel)
 	if t.rootLevel == 0 {
 		d.dataID = t.root
-		d.dataSrcID = page.Nil
-		d.dataSrcIdx = -1
 		return d, nil
 	}
-	guards := make([]*guardRef, t.rootLevel) // index = partition level
+	guards := d.guards // index = partition level
 	cur := t.root
 	for level := t.rootLevel; level >= 1; level-- {
 		n, err := t.fetchIndex(cur)
@@ -138,7 +174,9 @@ func (t *Tree) Lookup(p geometry.Point) ([]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
-	dp, err := t.fetchData(d.dataID)
+	dataID := d.dataID
+	putDescent(d)
+	dp, err := t.fetchData(dataID)
 	if err != nil {
 		return nil, err
 	}
@@ -173,5 +211,7 @@ func (t *Tree) SearchCost(p geometry.Point) (nodes int, maxGuardSet int, err err
 	if err != nil {
 		return 0, 0, err
 	}
-	return len(d.steps) + 1, d.maxGuardSet, nil
+	nodes, maxGuardSet = len(d.steps)+1, d.maxGuardSet
+	putDescent(d)
+	return nodes, maxGuardSet, nil
 }

@@ -26,6 +26,35 @@ func Brick(b BitString, dims int) geometry.Rect {
 	return r
 }
 
+// BrickIntersects reports whether the brick of b intersects rect without
+// materialising the brick: the bounds narrow in fixed-size stack arrays
+// and the test exits as soon as one dimension's interval separates from
+// the rectangle. It is the allocation-free pruning test of the range-walk
+// hot path, where Brick's two slice allocations per visited entry would
+// dominate the query's allocation profile.
+func BrickIntersects(b BitString, dims int, rect geometry.Rect) bool {
+	if dims != rect.Dims() {
+		return false
+	}
+	var min, max [geometry.MaxDims]uint64
+	for d := 0; d < dims; d++ {
+		max[d] = ^uint64(0)
+	}
+	for i := 0; i < b.Len(); i++ {
+		dim := i % dims
+		half := (max[dim]-min[dim])/2 + 1
+		if b.Bit(i) == 0 {
+			max[dim] = min[dim] + half - 1
+		} else {
+			min[dim] = min[dim] + half
+		}
+		if max[dim] < rect.Min[dim] || min[dim] > rect.Max[dim] {
+			return false
+		}
+	}
+	return true
+}
+
 // DirectEncloser returns the longest proper prefix of key present in keys,
 // i.e. the region that directly encloses key within the given set. ok is
 // false when no region in the set encloses key.

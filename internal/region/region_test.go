@@ -249,3 +249,45 @@ func TestChooseSplitClusteredAddressesConverges(t *testing.T) {
 		t.Fatalf("unbalanced: %+v", choice)
 	}
 }
+
+// TestBrickIntersectsMatchesBrick differentially checks the
+// allocation-free pruning test against the materialised brick across
+// random prefixes, dimensionalities, and query rectangles (including
+// degenerate point rects).
+func TestBrickIntersectsMatchesBrick(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 5000; i++ {
+		dims := 1 + rng.Intn(4)
+		b := randBits(rng, 48)
+		rect := geometry.UniverseRect(dims)
+		for d := 0; d < dims; d++ {
+			a, c := rng.Uint64(), rng.Uint64()
+			if rng.Intn(4) == 0 {
+				c = a // degenerate interval
+			}
+			if a > c {
+				a, c = c, a
+			}
+			rect.Min[d], rect.Max[d] = a, c
+		}
+		want := rect.Intersects(Brick(b, dims))
+		if got := BrickIntersects(b, dims, rect); got != want {
+			t.Fatalf("BrickIntersects(%v, %d, %v) = %v, Brick path says %v", b, dims, rect, got, want)
+		}
+	}
+	// Dimension mismatch is rejected, mirroring Rect.Intersects.
+	if BrickIntersects(randBits(rng, 8), 2, geometry.UniverseRect(3)) {
+		t.Fatal("dimension mismatch must not intersect")
+	}
+}
+
+func BenchmarkBrickIntersects(b *testing.B) {
+	rng := rand.New(rand.NewSource(18))
+	bits := randBits(rng, 40)
+	rect := geometry.UniverseRect(2)
+	rect.Min[0], rect.Max[0] = 1<<62, 1<<63
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BrickIntersects(bits, 2, rect)
+	}
+}

@@ -47,24 +47,44 @@ func (s *FileStore) openJournal(truncate bool) error {
 // writeJournal records the old on-disk images of the given frames and the
 // old header, then fsyncs. Nothing in the data file may change before this
 // returns.
+//
+// Slots at or beyond the old durable header's nextSlot carry no undo
+// image: they were allocated after the last completed Sync, so the
+// rolled-back state — whose header excludes them from every chain and
+// from the free list — never reads them, and Alloc zeroes a slot's frame
+// before reuse. Skipping them turns the journal cost of an insert-heavy
+// checkpoint from O(all touched slots) into O(pre-existing slots
+// modified), which is the bulk of the checkpoint's write amplification
+// for append-mostly workloads.
 func (s *FileStore) writeJournal(dirty []*frame) error {
-	buf := make([]byte, 0, 16+headerSize+len(dirty)*(8+s.slotSize)+4)
+	oldHdr := make([]byte, headerSize)
+	if _, err := s.f.ReadAt(oldHdr, 0); err != nil {
+		return fmt.Errorf("storage: journal: read old header: %w", err)
+	}
+	oldNext := ^uint64(0) // journal everything if the old header is unusable
+	if binary.LittleEndian.Uint64(oldHdr) == fileMagic &&
+		crc32.Checksum(oldHdr[:32], storeCRC) == binary.LittleEndian.Uint32(oldHdr[32:]) {
+		oldNext = binary.LittleEndian.Uint64(oldHdr[16:])
+	}
+	undo := make([]*frame, 0, len(dirty))
+	for _, fr := range dirty {
+		if fr.slot < oldNext {
+			undo = append(undo, fr)
+		}
+	}
+
+	buf := make([]byte, 0, 16+headerSize+len(undo)*(8+s.slotSize)+4)
 	var scratch [8]byte
 	binary.LittleEndian.PutUint64(scratch[:], journalMagic)
 	buf = append(buf, scratch[:]...)
 	binary.LittleEndian.PutUint32(scratch[:4], uint32(s.slotSize))
 	buf = append(buf, scratch[:4]...)
-	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(dirty)))
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(undo)))
 	buf = append(buf, scratch[:4]...)
-
-	oldHdr := make([]byte, headerSize)
-	if _, err := s.f.ReadAt(oldHdr, 0); err != nil {
-		return fmt.Errorf("storage: journal: read old header: %w", err)
-	}
 	buf = append(buf, oldHdr...)
 
 	img := make([]byte, s.slotSize)
-	for _, fr := range dirty {
+	for _, fr := range undo {
 		if _, err := s.f.ReadAt(img, int64(fr.slot)*int64(s.slotSize)); err != nil {
 			return fmt.Errorf("storage: journal: read old slot %d: %w", fr.slot, err)
 		}

@@ -26,6 +26,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"bvtree/internal/vfs"
 )
@@ -45,11 +46,13 @@ var (
 type Log struct {
 	f      vfs.File
 	path   string
-	size   int64 // record bytes, excluding the preamble
+	size   atomic.Int64 // record bytes, excluding the preamble; atomic so Size() can be read concurrently with a group-commit leader's append
 	epoch  uint64
 	hdrOK  bool // preamble present and intact on disk
 	synced bool
 	closed bool
+
+	batchBuf []byte // reusable AppendBatch framing scratch
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -57,7 +60,7 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 const (
 	recordHeader = 8 // length (4) + crc (4)
 
-	preambleSize  = 16 // magic (4) + epoch (8) + crc (4)
+	preambleSize  = 16         // magic (4) + epoch (8) + crc (4)
 	preambleMagic = 0x454C4157 // "WALE"
 
 	// maxRecord bounds a record length read from disk so that a damaged
@@ -89,7 +92,7 @@ func OpenFS(fs vfs.FS, path string) (*Log, error) {
 			crc32.Checksum(hdr[:12], crcTable) == binary.LittleEndian.Uint32(hdr[12:]) {
 			l.hdrOK = true
 			l.epoch = binary.LittleEndian.Uint64(hdr[4:])
-			l.size = st.Size() - preambleSize
+			l.size.Store(st.Size() - preambleSize)
 		} else {
 			// Damaged preamble. If an intact record survives beyond it we
 			// must not silently discard it.
@@ -132,7 +135,7 @@ func (l *Log) initPreamble(epoch uint64) error {
 	}
 	l.epoch = epoch
 	l.hdrOK = true
-	l.size = 0
+	l.size.Store(0)
 	l.synced = false
 	return nil
 }
@@ -160,9 +163,53 @@ func (l *Log) Append(rec []byte) error {
 	if _, err := l.f.Write(buf); err != nil {
 		return fmt.Errorf("wal: append %s: %w", l.path, err)
 	}
-	l.size += int64(len(buf))
+	l.size.Add(int64(len(buf)))
 	l.synced = false
 	return nil
+}
+
+// AppendBatch frames every record in recs into one contiguous buffer,
+// writes it with a single Write, and makes the whole batch durable with a
+// single Sync. Records keep their individual headers, so Replay sees them
+// exactly as if appended one by one — a crash mid-batch recovers to a
+// record-granularity prefix of the batch (never a torn record), because
+// Replay's tail-truncation already works record by record.
+func (l *Log) AppendBatch(recs [][]byte) error {
+	if l.closed {
+		return ErrClosed
+	}
+	if len(recs) == 0 {
+		return l.Sync()
+	}
+	total := 0
+	for _, rec := range recs {
+		if len(rec) == 0 {
+			return fmt.Errorf("wal: append batch %s: empty record", l.path)
+		}
+		total += recordHeader + len(rec)
+	}
+	if !l.hdrOK {
+		if err := l.initPreamble(l.epoch); err != nil {
+			return err
+		}
+	}
+	if cap(l.batchBuf) < total {
+		l.batchBuf = make([]byte, total)
+	}
+	buf := l.batchBuf[:total]
+	off := 0
+	for _, rec := range recs {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(len(rec)))
+		binary.LittleEndian.PutUint32(buf[off+4:], crc32.Checksum(rec, crcTable))
+		copy(buf[off+recordHeader:], rec)
+		off += recordHeader + len(rec)
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("wal: append batch %s: %w", l.path, err)
+	}
+	l.size.Add(int64(total))
+	l.synced = false
+	return l.Sync()
 }
 
 // Sync makes all appended records durable.
@@ -182,7 +229,7 @@ func (l *Log) Sync() error {
 
 // Size returns the bytes of records currently in the log (excluding the
 // preamble); 0 means the log is empty.
-func (l *Log) Size() int64 { return l.size }
+func (l *Log) Size() int64 { return l.size.Load() }
 
 // Replay invokes fn for every intact record in order. A torn or corrupt
 // tail (the expected result of a crash mid-append) ends the replay
@@ -201,7 +248,7 @@ func (l *Log) Replay(fn func(rec []byte) error) error {
 		return fmt.Errorf("wal: seek %s: %w", l.path, err)
 	}
 	off := int64(preambleSize)
-	end := int64(preambleSize) + l.size
+	end := int64(preambleSize) + l.size.Load()
 	hdr := make([]byte, recordHeader)
 	for {
 		if _, err := io.ReadFull(l.f, hdr); err != nil {
@@ -237,7 +284,7 @@ func (l *Log) Replay(fn func(rec []byte) error) error {
 	if err := l.f.Truncate(off); err != nil {
 		return fmt.Errorf("wal: truncate tail %s: %w", l.path, err)
 	}
-	l.size = off - preambleSize
+	l.size.Store(off - preambleSize)
 	if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
 		return fmt.Errorf("wal: seek %s: %w", l.path, err)
 	}
