@@ -1,18 +1,22 @@
 GO ?= go
 
-.PHONY: verify race torture fuzz bench bench-write
+.PHONY: verify race torture fuzz bench bench-write obs docslint
 
-# The standard verification gate: static checks, build, full test suite,
-# and the concurrency stress subset under the race detector (the full
-# -race run stays in the dedicated `race` target). The race smoke subset
-# covers the reader/writer stress tests and the group-commit/batch write
+# The standard verification gate: static checks, build, full test suite
+# (including the runnable godoc examples), the documentation lint (every
+# ```go fence in README.md/DESIGN.md must still compile or parse), and
+# the concurrency stress subset under the race detector (the full -race
+# run stays in the dedicated `race` target). The race smoke subset
+# covers the reader/writer stress tests, the group-commit/batch write
 # path (TestGroupCommit* in internal/wal, TestConcurrentBatch* in
-# internal/bvtree).
+# internal/bvtree), the instrumentation path (TestConcurrentMetrics) and
+# the histogram core (TestConcurrentHistogram in internal/obs).
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race -run 'TestConcurrent|TestGroupCommit' ./internal/bvtree ./internal/storage ./internal/wal
+	$(GO) run ./cmd/docslint
+	$(GO) test -race -run 'TestConcurrent|TestGroupCommit' ./internal/bvtree ./internal/storage ./internal/wal ./internal/obs
 
 # Full suite under the race detector, including the reader/writer stress
 # tests (TestConcurrent*) added with the parallel read path.
@@ -37,3 +41,13 @@ bench:
 # store); regenerates BENCH_writepath.json.
 bench-write:
 	$(GO) run ./cmd/bvbench -writepath
+
+# Observability overhead: per-op cost of Lookup/Insert with metrics and
+# tracing off/on (budget: ≤5% per enabled op, 0 when off); regenerates
+# BENCH_obs.json. See DESIGN.md §10 for the methodology.
+obs:
+	$(GO) run ./cmd/bvbench -obs
+
+# The documentation lint on its own (also part of `verify`).
+docslint:
+	$(GO) run ./cmd/docslint

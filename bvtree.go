@@ -33,6 +33,7 @@ package bvtree
 import (
 	ibv "bvtree/internal/bvtree"
 	"bvtree/internal/geometry"
+	"bvtree/internal/obs"
 	"bvtree/internal/storage"
 	"bvtree/internal/wal"
 )
@@ -54,8 +55,44 @@ type Tree = ibv.Tree
 // implementation package.
 type Options = ibv.Options
 
-// OpStats are the structural event counters of a Tree.
+// OpStats are the structural event counters of a Tree. They are a view
+// over the same counters (*Tree).Metrics reports in its Tree.Counters
+// section, so the two APIs can never disagree.
 type OpStats = ibv.OpStats
+
+// MetricsSnapshot is the combined observability snapshot returned by
+// (*Tree).Metrics and (*DurableTree).Metrics: structural counters and
+// opt-in latency/shape histograms for the tree layer, page-store counters
+// for paged trees, and WAL write-path histograms for durable trees. It is
+// plain data and marshals to JSON; see README.md ("Reading the metrics")
+// for how each section maps onto the paper's concepts.
+type MetricsSnapshot = obs.Snapshot
+
+// HistogramSnapshot summarises one latency or shape histogram: count,
+// mean, and interpolated p50/p95/p99 (error ≤12.5% at any magnitude).
+// Latency histograms are in nanoseconds.
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// Tracer receives one TraceEvent per completed operation when installed
+// with (*Tree).SetTracer. Implementations must be safe for concurrent
+// use; a nil tracer (the default) costs the hot paths a single nil check.
+type Tracer = obs.Tracer
+
+// TraceEvent is one completed traced operation: which layer and op, how
+// long it took, an op-specific magnitude, and whether it failed.
+type TraceEvent = obs.Event
+
+// CountingTracer is a ready-made Tracer that counts events and sums
+// durations per layer — the cheapest possible hook, used by bvbench -obs
+// to price tracing itself.
+type CountingTracer = obs.CountingTracer
+
+// Trace event layers and op codes.
+const (
+	LayerTree  = obs.LayerTree
+	LayerWAL   = obs.LayerWAL
+	LayerStore = obs.LayerStore
+)
 
 // TreeStats is a structural snapshot gathered by (*Tree).CollectStats.
 type TreeStats = ibv.TreeStats

@@ -7,6 +7,8 @@
 //	bvbench -exp all -scale 2
 //	bvbench -concurrency [-readers 1,2,4,8] [-duration 2s] [-json BENCH_concurrency.json]
 //	bvbench -writepath [-writers 8] [-writer-ops 2000] [-json BENCH_writepath.json]
+//	bvbench -obs [-json BENCH_obs.json]
+//	bvbench -debug-addr localhost:6060 [-hold 10m]
 //
 // Each experiment prints the rows/series of the corresponding paper
 // artifact together with a "shape check" describing what to look for; see
@@ -16,7 +18,10 @@
 // reader count exceeds the parallelism headroom (GOMAXPROCS < 2×readers)
 // are annotated as saturated. The -writepath mode measures durable insert
 // throughput under sync-per-op, group-commit and batched disciplines
-// against a file-backed store.
+// against a file-backed store. The -obs mode prices the observability
+// layer (instrumentation off vs metrics vs metrics+tracer) and writes
+// BENCH_obs.json. -debug-addr serves expvar (with the live tree metrics
+// under the "bvtree" key) and net/http/pprof over a demo workload.
 package main
 
 import (
@@ -42,9 +47,30 @@ func main() {
 		writepath = flag.Bool("writepath", false, "run the durable write-throughput benchmark")
 		writers   = flag.Int("writers", 8, "concurrent writer goroutines for -writepath")
 		writerOps = flag.Int("writer-ops", 2000, "inserts per writer for -writepath")
-		jsonPath  = flag.String("json", "", "output file for the -concurrency / -writepath report")
+		obsBench  = flag.Bool("obs", false, "run the observability-overhead benchmark")
+		debugAddr = flag.String("debug-addr", "", "serve expvar+pprof on this address over a demo workload")
+		hold      = flag.Duration("hold", 0, "how long -debug-addr serves (0 = until killed)")
+		jsonPath  = flag.String("json", "", "output file for the -concurrency / -writepath / -obs report")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		if err := runDebugServer(*debugAddr, *hold); err != nil {
+			fmt.Fprintf(os.Stderr, "bvbench: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *obsBench {
+		rep, err := bench.RunObs(os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bvbench: obs: %v\n", err)
+			os.Exit(1)
+		}
+		writeJSON(rep, *jsonPath, "BENCH_obs.json")
+		return
+	}
 
 	if *writepath {
 		rep, err := bench.RunWritepath(os.Stdout, *writers, *writerOps)

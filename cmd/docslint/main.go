@@ -1,0 +1,140 @@
+// Command docslint keeps the documentation's Go honest: it extracts
+// every ```go fence from the given markdown files and checks it.
+// Fences that are complete programs (they contain a package clause) are
+// compiled against this repository in a throwaway module; partial
+// snippets are syntax-checked with go/parser, tried first as top-level
+// declarations and then wrapped in a function body. A snippet that
+// drifts from the real API (for programs) or stops parsing (for
+// fragments) fails `make verify` instead of rotting silently.
+//
+// Usage:
+//
+//	docslint [file.md ...]   # default: README.md DESIGN.md
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		files = []string{"README.md", "DESIGN.md"}
+	}
+	failed := 0
+	checked := 0
+	for _, f := range files {
+		fences, err := extractGoFences(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docslint: %v\n", err)
+			os.Exit(1)
+		}
+		for _, fence := range fences {
+			checked++
+			if err := checkFence(fence.code); err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "docslint: %s:%d: %v\n", f, fence.line, err)
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "docslint: %d of %d snippets failed\n", failed, checked)
+		os.Exit(1)
+	}
+	fmt.Printf("docslint: %d snippets ok\n", checked)
+}
+
+type fence struct {
+	line int // 1-based line of the opening ```go
+	code string
+}
+
+// extractGoFences returns the contents of every ```go code fence in the
+// markdown file, with the line number of its opening marker.
+func extractGoFences(path string) ([]fence, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []fence
+	lines := strings.Split(string(blob), "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```go" {
+			continue
+		}
+		start := i + 1
+		var body []string
+		for i++; i < len(lines); i++ {
+			if strings.TrimSpace(lines[i]) == "```" {
+				break
+			}
+			body = append(body, lines[i])
+		}
+		if i == len(lines) {
+			return nil, fmt.Errorf("%s:%d: unterminated ```go fence", path, start)
+		}
+		out = append(out, fence{line: start, code: strings.Join(body, "\n") + "\n"})
+	}
+	return out, nil
+}
+
+// checkFence validates one snippet: full programs compile, fragments
+// must at least parse.
+func checkFence(code string) error {
+	if strings.Contains(code, "package ") && strings.HasPrefix(strings.TrimSpace(code), "package ") {
+		return compileProgram(code)
+	}
+	return parseFragment(code)
+}
+
+// parseFragment syntax-checks a snippet without a package clause. It is
+// accepted if it parses either as top-level declarations or as
+// statements inside a function body.
+func parseFragment(code string) error {
+	asDecls := "package p\n\n" + code
+	if _, err := parser.ParseFile(token.NewFileSet(), "snippet.go", asDecls, 0); err == nil {
+		return nil
+	}
+	asBody := "package p\n\nfunc _() {\n" + code + "\n}\n"
+	if _, err := parser.ParseFile(token.NewFileSet(), "snippet.go", asBody, 0); err != nil {
+		return fmt.Errorf("fragment does not parse as declarations or statements: %v", err)
+	}
+	return nil
+}
+
+// compileProgram builds a complete snippet in a temporary module whose
+// `replace` directive points at this repository, so imports of the
+// public package resolve to the working tree being linted.
+func compileProgram(code string) error {
+	repo, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(filepath.Join(repo, "go.mod")); err != nil {
+		return fmt.Errorf("must run from the repository root: %v", err)
+	}
+	dir, err := os.MkdirTemp("", "docslint-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	gomod := fmt.Sprintf("module docslintcheck\n\ngo 1.22\n\nrequire bvtree v0.0.0\n\nreplace bvtree => %s\n", repo)
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "snippet.go"), []byte(code), 0o644); err != nil {
+		return err
+	}
+	cmd := exec.Command("go", "build", "./...")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return fmt.Errorf("snippet does not compile:\n%s", out)
+	}
+	return nil
+}

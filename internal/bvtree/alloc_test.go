@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"bvtree/internal/geometry"
+	"bvtree/internal/obs"
 	"bvtree/internal/workload"
 )
 
@@ -44,6 +45,35 @@ func TestLookupAllocs(t *testing.T) {
 	// per-address scratch. The descent itself is pooled.
 	if allocs > 8 {
 		t.Fatalf("Lookup allocates %.1f allocs/op, budget 8", allocs)
+	}
+}
+
+// TestLookupDoesNotAllocate pins both halves of the instrumentation
+// contract: with metrics and tracer off, Lookup's allocation count is the
+// uninstrumented baseline (the disabled path is two nil checks — no clock
+// reads, no recording); and enabling the histograms plus a tracer adds
+// exactly zero allocations on top, because Observe is three atomic adds
+// and the Event is passed by value and never escapes.
+func TestLookupDoesNotAllocate(t *testing.T) {
+	tr, pts := buildAllocTree(t, 4000)
+	p := pts[2345]
+	measure := func() float64 {
+		return testing.AllocsPerRun(200, func() {
+			if _, err := tr.Lookup(p); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	off := measure()
+	tr.EnableMetrics()
+	var ct obs.CountingTracer
+	tr.SetTracer(&ct)
+	on := measure()
+	if on != off {
+		t.Fatalf("instrumentation changed Lookup allocations: %.1f -> %.1f allocs/op, want equal", off, on)
+	}
+	if ct.Events(obs.LayerTree) == 0 {
+		t.Fatal("tracer saw no events while enabled")
 	}
 }
 

@@ -2,8 +2,10 @@ package bvtree
 
 import (
 	"sort"
+	"time"
 
 	"bvtree/internal/geometry"
+	"bvtree/internal/obs"
 	"bvtree/internal/region"
 )
 
@@ -28,6 +30,25 @@ func (t *Tree) ApplyBatch(ops []BatchOp) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	defer t.endOp()
+	m, tr := t.metrics, t.tracer
+	if m == nil && tr == nil {
+		return t.applyBatchLocked(ops)
+	}
+	start := time.Now()
+	err := t.applyBatchLocked(ops)
+	dur := time.Since(start)
+	if m != nil {
+		m.Batch.Observe(int64(dur))
+		m.BatchSize.Observe(int64(len(ops)))
+	}
+	if tr != nil {
+		tr.Trace(obs.Event{Layer: obs.LayerTree, Op: obs.OpBatch, Dur: dur, N: int64(len(ops)), Err: err != nil})
+	}
+	return err
+}
+
+// applyBatchLocked is ApplyBatch's body (exclusive lock held).
+func (t *Tree) applyBatchLocked(ops []BatchOp) error {
 	for i := range ops {
 		op := &ops[i]
 		if op.Delete {

@@ -2,8 +2,10 @@ package bvtree
 
 import (
 	"fmt"
+	"time"
 
 	"bvtree/internal/geometry"
+	"bvtree/internal/obs"
 	"bvtree/internal/page"
 	"bvtree/internal/region"
 )
@@ -19,7 +21,24 @@ func (t *Tree) Delete(p geometry.Point, payload uint64) (bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	defer t.endOp()
-	return t.deleteLocked(p, payload)
+	m, tr := t.metrics, t.tracer
+	if m == nil && tr == nil {
+		return t.deleteLocked(p, payload)
+	}
+	start := time.Now()
+	removed, err := t.deleteLocked(p, payload)
+	dur := time.Since(start)
+	if m != nil {
+		m.Delete.Observe(int64(dur))
+	}
+	if tr != nil {
+		var n int64
+		if removed {
+			n = 1
+		}
+		tr.Trace(obs.Event{Layer: obs.LayerTree, Op: obs.OpDelete, Dur: dur, N: n, Err: err != nil})
+	}
+	return removed, err
 }
 
 // deleteLocked is Delete's body, factored out so ApplyBatch can run many
@@ -151,7 +170,7 @@ func (t *Tree) mergeUnderfullData(ctx *opCtx, d *descent, dp *page.DataPage) err
 			return nil
 		}
 	}
-	t.stats.mergeDeferrals.Add(1)
+	t.stats.MergeDeferrals.Inc()
 	return nil
 }
 
@@ -223,7 +242,7 @@ func (t *Tree) dissolveRegion(victimID, nodeID page.ID, node *page.IndexNode) (b
 	if err := t.st.Free(victimID); err != nil {
 		return false, err
 	}
-	t.stats.merges.Add(1)
+	t.stats.Merges.Inc()
 	for _, it := range items {
 		a, err := t.addr(it.Point)
 		if err != nil {
@@ -245,7 +264,7 @@ func (t *Tree) dissolveRegion(victimID, nodeID page.ID, node *page.IndexNode) (b
 			return true, err
 		}
 		if len(tp.Items) > t.opt.DataCapacity {
-			t.stats.resplits.Add(1)
+			t.stats.Resplits.Inc()
 			if err := t.splitDataPage(c2, dataID, dataSrcID); err != nil {
 				return true, err
 			}

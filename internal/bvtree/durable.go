@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 
 	"bvtree/internal/geometry"
+	"bvtree/internal/obs"
 	"bvtree/internal/storage"
 	"bvtree/internal/wal"
 )
@@ -54,6 +56,11 @@ type DurableTree struct {
 	log *wal.Log
 	gc  *wal.GroupCommitter
 
+	// wm holds the WAL-layer histograms when metrics are enabled (via
+	// Options.Metrics, DurableOptions.Metrics or EnableMetrics). Guarded
+	// by d.mu; the log itself keeps its own atomic reference.
+	wm *obs.WALMetrics
+
 	cp *checkpointer // non-nil while a background checkpointer runs
 }
 
@@ -66,6 +73,11 @@ type DurableOptions struct {
 	// Checkpoint, when either trigger is set, starts a background
 	// checkpointer (see CheckpointConfig).
 	Checkpoint CheckpointConfig
+	// Metrics enables the per-operation histograms of both the tree layer
+	// (equivalent to Options.Metrics) and the WAL layer (append/fsync
+	// latency, group-commit batch shape, checkpoint cost), reported by
+	// (*DurableTree).Metrics.
+	Metrics bool
 }
 
 // NewDurable creates a durable tree over a fresh store, logging to
@@ -93,6 +105,9 @@ func NewDurableLog(st storage.Store, l *wal.Log, opt Options) (*DurableTree, err
 // NewDurableLogOpts is NewDurableLog with an explicit write-path
 // configuration.
 func NewDurableLogOpts(st storage.Store, l *wal.Log, opt Options, dopt DurableOptions) (*DurableTree, error) {
+	if dopt.Metrics {
+		opt.Metrics = true
+	}
 	tr, err := NewPaged(st, opt)
 	if err != nil {
 		l.Close()
@@ -103,6 +118,10 @@ func NewDurableLogOpts(st storage.Store, l *wal.Log, opt Options, dopt DurableOp
 		return nil, err
 	}
 	d := &DurableTree{Tree: tr, log: l, gc: wal.NewGroupCommitter(l, dopt.Group)}
+	if opt.Metrics {
+		d.wm = &obs.WALMetrics{}
+		l.SetMetrics(d.wm)
+	}
 	d.startCheckpointer(dopt.Checkpoint)
 	return d, nil
 }
@@ -156,6 +175,11 @@ func OpenDurableLogOpts(st storage.Store, l *wal.Log, cacheNodes int, dopt Durab
 		return nil, fmt.Errorf("bvtree: %w: wal epoch %d ahead of store checkpoint epoch %d", wal.ErrCorrupt, l.Epoch(), tr.Epoch())
 	}
 	d.gc = wal.NewGroupCommitter(l, dopt.Group)
+	if dopt.Metrics {
+		tr.EnableMetrics()
+		d.wm = &obs.WALMetrics{}
+		l.SetMetrics(d.wm)
+	}
 	d.startCheckpointer(dopt.Checkpoint)
 	return d, nil
 }
@@ -339,14 +363,57 @@ func (d *DurableTree) Checkpoint() error {
 // pre-checkpoint records after the log reset stamps the new epoch (they
 // would replay as post-checkpoint operations and double-apply).
 func (d *DurableTree) checkpointLocked() error {
+	wm, tr := d.wm, d.Tree.getTracer()
+	var start time.Time
+	if wm != nil || tr != nil {
+		start = time.Now()
+	}
 	if err := d.gc.Drain(); err != nil {
 		return err
 	}
+	absorbed := d.log.Size() // log bytes this checkpoint makes redundant
 	d.Tree.advanceEpoch()
 	if err := d.Tree.Flush(); err != nil {
 		return err
 	}
-	return d.log.Reset(d.Tree.Epoch())
+	if err := d.log.Reset(d.Tree.Epoch()); err != nil {
+		return err
+	}
+	if wm != nil {
+		wm.Checkpoint.ObserveSince(start)
+		wm.CheckpointB.Add(uint64(absorbed))
+		wm.Checkpoints.Inc()
+	}
+	if tr != nil {
+		tr.Trace(obs.Event{Layer: obs.LayerWAL, Op: obs.OpCheckpoint, Dur: time.Since(start), N: absorbed})
+	}
+	return nil
+}
+
+// EnableMetrics enables the tree-layer histograms (see Tree.EnableMetrics)
+// and additionally wires up the WAL-layer histograms.
+func (d *DurableTree) EnableMetrics() {
+	d.Tree.EnableMetrics()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.wm == nil {
+		d.wm = &obs.WALMetrics{}
+		d.log.SetMetrics(d.wm)
+	}
+}
+
+// Metrics extends Tree.Metrics with the WAL layer's section: append and
+// fsync latency, group-commit amortisation and checkpoint cost.
+func (d *DurableTree) Metrics() obs.Snapshot {
+	d.mu.Lock()
+	wm := d.wm
+	d.mu.Unlock()
+	s := d.Tree.Metrics()
+	if wm != nil {
+		ws := wm.Snapshot()
+		s.WAL = &ws
+	}
+	return s
 }
 
 // LogSize returns the bytes of operations logged since the last

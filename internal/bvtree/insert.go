@@ -3,8 +3,10 @@ package bvtree
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"bvtree/internal/geometry"
+	"bvtree/internal/obs"
 	"bvtree/internal/page"
 	"bvtree/internal/region"
 )
@@ -26,7 +28,20 @@ func (t *Tree) Insert(p geometry.Point, payload uint64) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	defer t.endOp()
-	return t.insertLocked(p, payload)
+	m, tr := t.metrics, t.tracer
+	if m == nil && tr == nil {
+		return t.insertLocked(p, payload)
+	}
+	start := time.Now()
+	err := t.insertLocked(p, payload)
+	dur := time.Since(start)
+	if m != nil {
+		m.Insert.Observe(int64(dur))
+	}
+	if tr != nil {
+		tr.Trace(obs.Event{Layer: obs.LayerTree, Op: obs.OpInsert, Dur: dur, N: 1, Err: err != nil})
+	}
+	return err
 }
 
 // insertLocked is Insert's body, factored out so ApplyBatch can run many
@@ -130,7 +145,7 @@ func (t *Tree) splitDataPage(ctx *opCtx, dataID, srcNodeID page.ID) error {
 	if errors.Is(err, region.ErrCannotSplit) {
 		// Pathological duplicate data: tolerate an oversized page rather
 		// than lose the non-intersection invariant.
-		t.stats.softOverflows.Add(1)
+		t.stats.SoftOverflows.Inc()
 		return nil
 	}
 	if err != nil {
@@ -150,7 +165,7 @@ func (t *Tree) splitDataPage(ctx *opCtx, dataID, srcNodeID page.ID) error {
 		}
 	}
 	dp.Items = keep
-	t.stats.dataSplits.Add(1)
+	t.stats.DataSplits.Inc()
 	if err := t.st.SaveData(dataID, dp); err != nil {
 		return err
 	}
@@ -180,7 +195,7 @@ func (t *Tree) splitDataPage(ctx *opCtx, dataID, srcNodeID page.ID) error {
 		}
 		t.root = rootID
 		t.rootLevel = 1
-		t.stats.rootGrowths.Add(1)
+		t.stats.RootGrowths.Inc()
 	} else {
 		// Place the inner entry by a single descent from the root (§4):
 		// starting lower would miss guards collected above, and the stop
@@ -193,7 +208,7 @@ func (t *Tree) splitDataPage(ctx *opCtx, dataID, srcNodeID page.ID) error {
 		// §4: when a promoted (guard) region splits, the inner half may
 		// be demotable towards its natural level.
 		if srcLevel > 1 && landed < srcLevel {
-			t.stats.demotions.Add(1)
+			t.stats.Demotions.Inc()
 		}
 	}
 	return t.resplitOversized(ctx, dataID, innerID)
@@ -226,14 +241,14 @@ func (t *Tree) resplitOversized(ctx *opCtx, ids ...page.ID) error {
 			if gotID != id {
 				return fmt.Errorf("bvtree: oversized page %d not reachable by its own items (got %d)", id, gotID)
 			}
-			before := t.stats.dataSplits.Load() + t.stats.softOverflows.Load()
+			before := t.stats.DataSplits.Load() + t.stats.SoftOverflows.Load()
 			if err := t.splitDataPage(c2, id, srcID); err != nil {
 				return err
 			}
-			if t.stats.dataSplits.Load()+t.stats.softOverflows.Load() == before {
+			if t.stats.DataSplits.Load()+t.stats.SoftOverflows.Load() == before {
 				break // no progress possible
 			}
-			if t.stats.softOverflows.Load() > 0 {
+			if t.stats.SoftOverflows.Load() > 0 {
 				// Tolerated oversize; stop to avoid looping.
 				break
 			}
@@ -424,7 +439,7 @@ func (t *Tree) insertIntoNode(ctx *opCtx, id page.ID, n *page.IndexNode, e page.
 func (t *Tree) splitIndexNode(ctx *opCtx, id page.ID, n *page.IndexNode) error {
 	q, ok := chooseIndexSplit(n)
 	if !ok {
-		t.stats.softOverflows.Add(1)
+		t.stats.SoftOverflows.Inc()
 		return nil
 	}
 
@@ -452,8 +467,8 @@ func (t *Tree) splitIndexNode(ctx *opCtx, id page.ID, n *page.IndexNode) error {
 		}
 	}
 	n.Entries = outer
-	t.stats.indexSplits.Add(1)
-	t.stats.promotions.Add(uint64(len(promoted)))
+	t.stats.IndexSplits.Inc()
+	t.stats.Promotions.Add(uint64(len(promoted)))
 	if err := t.st.SaveIndex(id, n); err != nil {
 		return err
 	}
@@ -496,7 +511,7 @@ func (t *Tree) splitIndexNode(ctx *opCtx, id page.ID, n *page.IndexNode) error {
 		}
 		t.root = rootID
 		t.rootLevel = rootNode.Level
-		t.stats.rootGrowths.Add(1)
+		t.stats.RootGrowths.Inc()
 		if len(rootNode.Entries) > t.capacity(rootNode.Level) {
 			// A root split promotes (at most) one guard per partition
 			// level, so when the fan-out is small relative to the height
@@ -509,7 +524,7 @@ func (t *Tree) splitIndexNode(ctx *opCtx, id page.ID, n *page.IndexNode) error {
 				return t.splitIndexNode(ctx, rootID, rootNode)
 			}
 			if len(rootNode.Entries) <= 2+rootNode.Level {
-				t.stats.softOverflows.Add(1)
+				t.stats.SoftOverflows.Inc()
 				return nil
 			}
 			return t.splitIndexNode(ctx, rootID, rootNode)

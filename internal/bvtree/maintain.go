@@ -96,11 +96,11 @@ func (t *Tree) Maintain() (int, error) {
 				// at an ancestor (a later promotion introduced it above);
 				// re-placement moved the guard up, which only widens its
 				// visibility. Counted as a promotion, not a demotion.
-				t.stats.promotions.Add(1)
+				t.stats.Promotions.Inc()
 				continue
 			}
 			demoted++
-			t.stats.demotions.Add(1)
+			t.stats.Demotions.Inc()
 		}
 	}
 	return demoted, t.contractRoot()

@@ -1,0 +1,65 @@
+package bvtree
+
+import (
+	"bvtree/internal/obs"
+	"bvtree/internal/storage"
+)
+
+// Metrics returns the tree's combined observability snapshot:
+//
+//   - Tree: the always-on structural counters (the same numbers Stats
+//     reports) plus, when metrics are enabled (Options.Metrics or
+//     EnableMetrics), the per-operation latency and shape histograms.
+//   - Store: for paged trees, the page store's counters — logical and
+//     physical I/O, buffer-pool behaviour, free-list length.
+//
+// DurableTree.Metrics shadows this method and additionally fills the WAL
+// section. The snapshot is plain data, safe to retain, and marshals to
+// JSON (bvbench -obs writes one into BENCH_obs.json).
+func (t *Tree) Metrics() obs.Snapshot {
+	t.mu.RLock()
+	m := t.metrics
+	t.mu.RUnlock()
+	var ts obs.TreeSnapshot
+	if m != nil {
+		ts = m.Snapshot()
+	}
+	ts.MetricsEnabled = m != nil
+	ts.Counters = t.stats.Snapshot()
+	s := obs.Snapshot{Tree: ts}
+	if t.bst != nil {
+		ss := storeSnapshot(t.bst.Stats())
+		s.Store = &ss
+	}
+	return s
+}
+
+// getTracer returns the installed tracer under the shared lock; callers
+// that do not already hold t.mu use it to read the field race-free.
+func (t *Tree) getTracer() obs.Tracer {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.tracer
+}
+
+// storeSnapshot reshapes the store's counters into the snapshot form the
+// metrics API exposes. storage deliberately does not import obs — its
+// atomic Stats are already metrics; this is the only conversion point.
+func storeSnapshot(st storage.Stats) obs.StoreSnapshot {
+	ss := obs.StoreSnapshot{
+		Allocs:      st.Allocs,
+		Frees:       st.Frees,
+		NodeReads:   st.NodeReads,
+		NodeWrites:  st.NodeWrites,
+		SlotReads:   st.SlotReads,
+		SlotWrites:  st.SlotWrites,
+		CacheHits:   st.CacheHits,
+		CacheMisses: st.CacheMisses,
+		Evictions:   st.Evictions,
+		FreeSlots:   st.FreeSlots,
+	}
+	if tot := st.CacheHits + st.CacheMisses; tot > 0 {
+		ss.HitRatio = float64(st.CacheHits) / float64(tot)
+	}
+	return ss
+}

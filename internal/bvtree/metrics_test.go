@@ -1,0 +1,250 @@
+package bvtree
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"bvtree/internal/geometry"
+	"bvtree/internal/obs"
+	"bvtree/internal/storage"
+	"bvtree/internal/workload"
+)
+
+// TestMetricsSnapshot drives every instrumented operation on a tree with
+// metrics enabled and checks that each histogram saw its operations and
+// that the counter section agrees with Stats().
+func TestMetricsSnapshot(t *testing.T) {
+	pts, err := workload.Generate(workload.Uniform, 2, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(Options{Dims: 2, DataCapacity: 8, Fanout: 8, Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if err := tr.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range pts[:100] {
+		if _, err := tr.Lookup(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tr.Delete(pts[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.RangeQuery(geometry.UniverseRect(2), func(geometry.Point, uint64) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Nearest(pts[1], 5); err != nil {
+		t.Fatal(err)
+	}
+	batch := []BatchOp{{Point: pts[2], Payload: 99}, {Delete: true, Point: pts[2], Payload: 99}}
+	if err := tr.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	s := tr.Metrics()
+	if !s.Tree.MetricsEnabled {
+		t.Fatal("MetricsEnabled = false on a Metrics:true tree")
+	}
+	if s.Store != nil || s.WAL != nil {
+		t.Fatal("in-memory tree reported store/WAL sections")
+	}
+	checks := []struct {
+		name string
+		h    obs.HistogramSnapshot
+		want uint64
+	}{
+		{"lookup", s.Tree.LookupNs, 100},
+		{"insert", s.Tree.InsertNs, 2000},
+		{"delete", s.Tree.DeleteNs, 1},
+		{"range_query", s.Tree.RangeQueryNs, 1},
+		{"nearest", s.Tree.NearestNs, 1},
+		{"batch", s.Tree.BatchNs, 1},
+		{"batch_size", s.Tree.BatchSize, 1},
+	}
+	for _, c := range checks {
+		if c.h.Count != c.want {
+			t.Errorf("%s histogram count = %d, want %d", c.name, c.h.Count, c.want)
+		}
+	}
+	// Every insert, delete, lookup and batched op runs one descent.
+	if s.Tree.DescentDepth.Count == 0 || s.Tree.GuardSet.Count == 0 {
+		t.Fatalf("descent shape histograms empty: depth=%d guards=%d",
+			s.Tree.DescentDepth.Count, s.Tree.GuardSet.Count)
+	}
+	if s.Tree.Counters != tr.Stats() {
+		t.Fatalf("Metrics counters %+v disagree with Stats %+v — they must be the same counters",
+			s.Tree.Counters, tr.Stats())
+	}
+	if s.Tree.Counters.DataSplits == 0 || s.Tree.Counters.NodeAccesses == 0 {
+		t.Fatalf("structural counters not live: %+v", s.Tree.Counters)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+}
+
+// TestMetricsDisabledByDefault checks the off state: histograms stay
+// empty and report MetricsEnabled=false, while the structural counters
+// (shared with Stats) are live regardless.
+func TestMetricsDisabledByDefault(t *testing.T) {
+	tr, err := New(Options{Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(geometry.Point{1, 2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Lookup(geometry.Point{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Metrics()
+	if s.Tree.MetricsEnabled {
+		t.Fatal("MetricsEnabled = true without opt-in")
+	}
+	if s.Tree.LookupNs.Count != 0 || s.Tree.InsertNs.Count != 0 {
+		t.Fatal("histograms recorded while disabled")
+	}
+	if s.Tree.Counters.NodeAccesses == 0 {
+		t.Fatal("structural counters must be on even with metrics disabled")
+	}
+	tr.EnableMetrics()
+	if _, err := tr.Lookup(geometry.Point{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Metrics().Tree.LookupNs.Count; got != 1 {
+		t.Fatalf("lookup count after EnableMetrics = %d, want 1", got)
+	}
+}
+
+// TestDurableMetrics exercises the full stack: a durable tree over a
+// file store with DurableOptions.Metrics must report all three sections —
+// tree histograms, WAL write-path histograms, and page-store counters.
+func TestDurableMetrics(t *testing.T) {
+	dir := t.TempDir()
+	st, err := storage.CreateFileStore(filepath.Join(dir, "tree.db"), storage.FileStoreOptions{PinDirty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	d, err := NewDurableOpts(st, filepath.Join(dir, "tree.wal"), Options{Dims: 2}, DurableOptions{Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := workload.Generate(workload.Uniform, 2, 500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if err := d.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Metrics()
+	if !s.Tree.MetricsEnabled || s.Tree.InsertNs.Count != 500 {
+		t.Fatalf("tree section: enabled=%v inserts=%d, want true/500",
+			s.Tree.MetricsEnabled, s.Tree.InsertNs.Count)
+	}
+	if s.WAL == nil {
+		t.Fatal("durable tree reported no WAL section")
+	}
+	if s.WAL.AppendNs.Count == 0 || s.WAL.FsyncNs.Count == 0 {
+		t.Fatalf("WAL histograms empty: appends=%d fsyncs=%d",
+			s.WAL.AppendNs.Count, s.WAL.FsyncNs.Count)
+	}
+	if s.WAL.GroupWaitNs.Count != 500 {
+		t.Fatalf("group waits = %d, want 500 (one per committed insert)", s.WAL.GroupWaitNs.Count)
+	}
+	if s.WAL.Checkpoints != 1 || s.WAL.CheckpointNs.Count != 1 || s.WAL.CheckpointBytes == 0 {
+		t.Fatalf("checkpoint metrics: n=%d dur-count=%d bytes=%d",
+			s.WAL.Checkpoints, s.WAL.CheckpointNs.Count, s.WAL.CheckpointBytes)
+	}
+	if s.Store == nil {
+		t.Fatal("paged tree reported no store section")
+	}
+	if s.Store.NodeWrites == 0 || s.Store.CacheHits+s.Store.CacheMisses == 0 {
+		t.Fatalf("store section not live: %+v", *s.Store)
+	}
+	if s.Store.HitRatio <= 0 || s.Store.HitRatio > 1 {
+		t.Fatalf("hit ratio %v out of (0,1]", s.Store.HitRatio)
+	}
+}
+
+// TestConcurrentMetrics hammers an instrumented tree from parallel
+// readers and a writer while snapshots are taken — the -race smoke for
+// the whole instrumentation path (it runs in `make verify`'s race
+// subset). SetTracer mid-flight exercises the lock discipline around the
+// tracer field.
+func TestConcurrentMetrics(t *testing.T) {
+	pts, err := workload.Generate(workload.Uniform, 2, 3000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(Options{Dims: 2, DataCapacity: 8, Fanout: 8, Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts[:1000] {
+		if err := tr.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ct obs.CountingTracer
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := tr.Lookup(pts[(r*777+i)%1000]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() { // snapshotter
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = tr.Metrics()
+				_ = tr.Stats()
+			}
+		}
+	}()
+	tr.SetTracer(&ct)
+	for i, p := range pts[1000:] {
+		if err := tr.Insert(p, uint64(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.SetTracer(nil)
+	close(stop)
+	wg.Wait()
+	s := tr.Metrics()
+	if s.Tree.InsertNs.Count != 3000 {
+		t.Fatalf("insert histogram count = %d, want 3000", s.Tree.InsertNs.Count)
+	}
+	if ct.Events(obs.LayerTree) < 2000 {
+		t.Fatalf("tracer saw %d tree events, want >= 2000 (the traced inserts)", ct.Events(obs.LayerTree))
+	}
+}

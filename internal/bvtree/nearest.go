@@ -4,8 +4,10 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"time"
 
 	"bvtree/internal/geometry"
+	"bvtree/internal/obs"
 	"bvtree/internal/page"
 	"bvtree/internal/region"
 )
@@ -29,6 +31,24 @@ func (t *Tree) Nearest(p geometry.Point, k int) ([]Neighbor, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	defer t.endOp()
+	m, tr := t.metrics, t.tracer
+	if m == nil && tr == nil {
+		return t.nearestLocked(p, k)
+	}
+	start := time.Now()
+	out, err := t.nearestLocked(p, k)
+	dur := time.Since(start)
+	if m != nil {
+		m.Nearest.Observe(int64(dur))
+	}
+	if tr != nil {
+		tr.Trace(obs.Event{Layer: obs.LayerTree, Op: obs.OpNearest, Dur: dur, N: int64(len(out)), Err: err != nil})
+	}
+	return out, err
+}
+
+// nearestLocked is Nearest's body (shared lock held).
+func (t *Tree) nearestLocked(p geometry.Point, k int) ([]Neighbor, error) {
 	if len(p) != t.opt.Dims {
 		return nil, fmt.Errorf("bvtree: point has %d dims, tree has %d", len(p), t.opt.Dims)
 	}

@@ -2,8 +2,10 @@ package bvtree
 
 import (
 	"fmt"
+	"time"
 
 	"bvtree/internal/geometry"
+	"bvtree/internal/obs"
 	"bvtree/internal/page"
 	"bvtree/internal/region"
 )
@@ -24,6 +26,28 @@ func (t *Tree) RangeQuery(rect geometry.Rect, visit Visitor) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	defer t.endOp()
+	m, tr := t.metrics, t.tracer
+	if m == nil && tr == nil {
+		return t.rangeQueryLocked(rect, visit)
+	}
+	start := time.Now()
+	var visited int64
+	err := t.rangeQueryLocked(rect, func(p geometry.Point, payload uint64) bool {
+		visited++
+		return visit(p, payload)
+	})
+	dur := time.Since(start)
+	if m != nil {
+		m.RangeQuery.Observe(int64(dur))
+	}
+	if tr != nil {
+		tr.Trace(obs.Event{Layer: obs.LayerTree, Op: obs.OpRangeQuery, Dur: dur, N: visited, Err: err != nil})
+	}
+	return err
+}
+
+// rangeQueryLocked is RangeQuery's body (shared lock held).
+func (t *Tree) rangeQueryLocked(rect geometry.Rect, visit Visitor) error {
 	if rect.Dims() != t.opt.Dims {
 		return fmt.Errorf("bvtree: query rect has %d dims, tree has %d", rect.Dims(), t.opt.Dims)
 	}

@@ -3,8 +3,10 @@ package bvtree
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"bvtree/internal/geometry"
+	"bvtree/internal/obs"
 	"bvtree/internal/page"
 	"bvtree/internal/region"
 )
@@ -81,13 +83,30 @@ func putDescent(d *descent) {
 	}
 }
 
-// descendPoint runs the exact-match search for a full point address. The
+// descendPoint runs the exact-match search for a full point address and,
+// when metrics are enabled, records the descent's shape: nodes visited
+// (steps + final data page) and the largest guard set carried, sampled
+// 1-in-16 (obs.TreeMetrics.ObserveDescent). It is the single choke point
+// every exact-match descent — lookup, insert, delete, placement —
+// funnels through, so the DescentDepth and GuardSet histograms see the
+// whole workload.
+func (t *Tree) descendPoint(target region.BitString) (*descent, error) {
+	d, err := t.descendPointInner(target)
+	if err == nil {
+		if m := t.metrics; m != nil {
+			m.ObserveDescent(int64(len(d.steps))+1, int64(d.maxGuardSet))
+		}
+	}
+	return d, err
+}
+
+// descendPointInner is the uninstrumented descent (§3 of the paper). The
 // correspondence between the partition hierarchy and the index hierarchy
 // is reconstituted on the way down: matching guards are merged into a
 // per-level guard set (keeping the better match per level), and at index
 // level x the search follows whichever of the best unpromoted entry and
 // the guard-set member of level x-1 matches the target better.
-func (t *Tree) descendPoint(target region.BitString) (*descent, error) {
+func (t *Tree) descendPointInner(target region.BitString) (*descent, error) {
 	d := getDescent(t.rootLevel)
 	if t.rootLevel == 0 {
 		d.dataID = t.root
@@ -166,6 +185,26 @@ func (t *Tree) Lookup(p geometry.Point) ([]uint64, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	defer t.endOp()
+	m, tr := t.metrics, t.tracer
+	if m == nil && tr == nil {
+		// Fast path: instrumentation off costs exactly these two nil
+		// checks, no clock reads (guarded by TestLookupDoesNotAllocate).
+		return t.lookupLocked(p)
+	}
+	start := time.Now()
+	out, err := t.lookupLocked(p)
+	dur := time.Since(start)
+	if m != nil {
+		m.Lookup.Observe(int64(dur))
+	}
+	if tr != nil {
+		tr.Trace(obs.Event{Layer: obs.LayerTree, Op: obs.OpLookup, Dur: dur, N: int64(len(out)), Err: err != nil})
+	}
+	return out, err
+}
+
+// lookupLocked is Lookup's body (shared lock held).
+func (t *Tree) lookupLocked(p geometry.Point) ([]uint64, error) {
 	key, err := t.addr(p)
 	if err != nil {
 		return nil, err

@@ -18,9 +18,9 @@ package bvtree
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"bvtree/internal/geometry"
+	"bvtree/internal/obs"
 	"bvtree/internal/page"
 	"bvtree/internal/region"
 	"bvtree/internal/storage"
@@ -46,6 +46,12 @@ type Options struct {
 	// CacheNodes bounds the decoded-node cache of a paged tree
 	// (default 4096); ignored by in-memory trees.
 	CacheNodes int
+	// Metrics enables the per-operation latency and shape histograms
+	// reported by (*Tree).Metrics. The structural event counters (OpStats)
+	// are always on; this switch only controls the histograms, whose cost
+	// is two clock reads and a few atomic adds per operation (measured in
+	// BENCH_obs.json). It can also be flipped later with EnableMetrics.
+	Metrics bool
 }
 
 func (o *Options) fill() error {
@@ -74,64 +80,10 @@ func (o *Options) fill() error {
 }
 
 // OpStats is a snapshot of the structural event counters accumulated over
-// the life of a tree. Obtain one with (*Tree).Stats.
-type OpStats struct {
-	// NodeAccesses counts logical node fetches (index nodes + data pages).
-	NodeAccesses uint64
-	// DataSplits and IndexSplits count page splits by kind.
-	DataSplits  uint64
-	IndexSplits uint64
-	// Promotions counts entries promoted to a parent as guards during
-	// index splits; Demotions counts guards moved back down.
-	Promotions uint64
-	Demotions  uint64
-	// Merges counts data page merges triggered by underflow; Resplits
-	// counts merges whose result overflowed and split again
-	// (redistribution); MergeDeferrals counts underflows left unresolved
-	// because no same-node merge partner existed.
-	Merges         uint64
-	Resplits       uint64
-	MergeDeferrals uint64
-	// SoftOverflows counts nodes temporarily exceeding capacity because
-	// no balanced split existed (pathological duplicate-heavy data).
-	SoftOverflows uint64
-	// RootGrowths counts increments of the index height.
-	RootGrowths uint64
-}
-
-// opCounters holds the live structural event counters. Read-only
-// operations run concurrently with each other and bump NodeAccesses, so
-// every counter is atomic; Stats() assembles an OpStats snapshot from
-// atomic loads. Mutating counters are only ever written under the
-// exclusive tree lock — the atomics make the snapshot race-free, not the
-// arithmetic.
-type opCounters struct {
-	nodeAccesses   atomic.Uint64
-	dataSplits     atomic.Uint64
-	indexSplits    atomic.Uint64
-	promotions     atomic.Uint64
-	demotions      atomic.Uint64
-	merges         atomic.Uint64
-	resplits       atomic.Uint64
-	mergeDeferrals atomic.Uint64
-	softOverflows  atomic.Uint64
-	rootGrowths    atomic.Uint64
-}
-
-func (c *opCounters) snapshot() OpStats {
-	return OpStats{
-		NodeAccesses:   c.nodeAccesses.Load(),
-		DataSplits:     c.dataSplits.Load(),
-		IndexSplits:    c.indexSplits.Load(),
-		Promotions:     c.promotions.Load(),
-		Demotions:      c.demotions.Load(),
-		Merges:         c.merges.Load(),
-		Resplits:       c.resplits.Load(),
-		MergeDeferrals: c.mergeDeferrals.Load(),
-		SoftOverflows:  c.softOverflows.Load(),
-		RootGrowths:    c.rootGrowths.Load(),
-	}
-}
+// the life of a tree. Obtain one with (*Tree).Stats. It is a thin view
+// over the obs.TreeCounters the tree records into — the same counters
+// that (*Tree).Metrics reports — so the two can never disagree.
+type OpStats = obs.TreeCountersSnapshot
 
 // Tree is a BV-tree. All methods are safe for concurrent use under a
 // reader–writer contract:
@@ -160,7 +112,17 @@ type Tree struct {
 	size      int
 	epoch     uint64 // checkpoint epoch of a paged tree (see page.Meta.Epoch)
 
-	stats opCounters
+	stats obs.TreeCounters
+	// metrics holds the opt-in per-operation histograms; nil when
+	// Options.Metrics is off, so disabled instrumentation costs one nil
+	// check per operation. Set at construction or via EnableMetrics
+	// (under the exclusive lock); operations read it under their own lock,
+	// so no atomics are needed.
+	metrics *obs.TreeMetrics
+	// tracer receives one obs.Event per completed operation when non-nil.
+	// Same lock discipline as metrics (SetTracer writes under mu.Lock).
+	tracer obs.Tracer
+
 	paged *pagedNodes // non-nil when backed by a storage.Store
 	bst   storage.Store
 }
@@ -275,6 +237,9 @@ func newTree(ns NodeStore, pn *pagedNodes, bst storage.Store, opt Options) (*Tre
 		return nil, err
 	}
 	t := &Tree{st: ns, opt: opt, il: il, paged: pn, bst: bst}
+	if opt.Metrics {
+		t.metrics = &obs.TreeMetrics{}
+	}
 	id, _, err := ns.AllocData(region.BitString{})
 	if err != nil {
 		return nil, err
@@ -325,7 +290,7 @@ func (t *Tree) Options() Options { return t.opt }
 func (t *Tree) Stats() OpStats {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.stats.snapshot()
+	return t.stats.Snapshot()
 }
 
 // ResetAccessCount zeroes the NodeAccesses counter (the other counters are
@@ -333,7 +298,31 @@ func (t *Tree) Stats() OpStats {
 func (t *Tree) ResetAccessCount() uint64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.stats.nodeAccesses.Swap(0)
+	return t.stats.NodeAccesses.Swap(0)
+}
+
+// EnableMetrics turns on the per-operation histograms reported by
+// Metrics, as if Options.Metrics had been set at construction. Samples
+// recorded before enabling are lost (only the structural counters are
+// retroactive). Enabling is idempotent; there is no disable — drop the
+// tree's reference instead.
+func (t *Tree) EnableMetrics() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.metrics == nil {
+		t.metrics = &obs.TreeMetrics{}
+	}
+}
+
+// SetTracer installs tr to receive one obs.Event per completed tree
+// operation; nil removes the current tracer. The tracer must be safe for
+// concurrent use (read-only operations run in parallel). It is invoked on
+// the operation's goroutine after the operation completes, while the
+// operation's lock is still held — keep Trace fast.
+func (t *Tree) SetTracer(tr obs.Tracer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tracer = tr
 }
 
 // capacity returns the entry capacity of an index node at index level x.
@@ -354,12 +343,12 @@ func (t *Tree) addr(p geometry.Point) (region.BitString, error) {
 }
 
 func (t *Tree) fetchIndex(id page.ID) (*page.IndexNode, error) {
-	t.stats.nodeAccesses.Add(1)
+	t.stats.NodeAccesses.Inc()
 	return t.st.Index(id)
 }
 
 func (t *Tree) fetchData(id page.ID) (*page.DataPage, error) {
-	t.stats.nodeAccesses.Add(1)
+	t.stats.NodeAccesses.Inc()
 	return t.st.Data(id)
 }
 

@@ -297,6 +297,8 @@ func (s *FileStore) checkFreeList() error {
 		}
 		slot = binary.LittleEndian.Uint64(buf)
 	}
+	// seen is the verified free-list length; seed the FreeSlots gauge.
+	atomic.StoreInt64(&s.stats.FreeSlots, int64(seen))
 	return nil
 }
 
@@ -387,6 +389,7 @@ func (s *FileStore) admitLocked(sh *poolShard, fr *frame) error {
 		}
 		sh.lru.remove(victim)
 		delete(sh.frames, victim.slot)
+		atomic.AddUint64(&s.stats.Evictions, 1)
 		victim = prev
 	}
 	sh.frames[fr.slot] = fr
@@ -418,6 +421,7 @@ func (s *FileStore) allocSlot() (uint64, error) {
 			return 0, err
 		}
 		s.freeHead = next
+		atomic.AddInt64(&s.stats.FreeSlots, -1)
 		return slot, nil
 	}
 	slot := s.nextSlot
@@ -440,6 +444,7 @@ func (s *FileStore) freeSlot(slot uint64) error {
 	binary.LittleEndian.PutUint64(fr.buf, s.freeHead)
 	fr.dirty = true
 	s.freeHead = slot
+	atomic.AddInt64(&s.stats.FreeSlots, 1)
 	return nil
 }
 

@@ -47,9 +47,16 @@ type Stats struct {
 	SlotWrites  uint64
 	CacheHits   uint64
 	CacheMisses uint64
+	// Evictions counts buffer-pool frames dropped to admit another (a
+	// write-back when the victim was dirty). Always 0 for MemStore.
+	Evictions uint64
+	// FreeSlots is the current free-list length — a gauge, not a counter.
+	// Always 0 for MemStore, which has no free list.
+	FreeSlots int64
 }
 
-// Sub returns the difference s - t, for measuring an interval.
+// Sub returns the difference s - t, for measuring an interval. FreeSlots
+// is a gauge and keeps its end-of-interval value.
 func (s Stats) Sub(t Stats) Stats {
 	return Stats{
 		Allocs:      s.Allocs - t.Allocs,
@@ -60,6 +67,8 @@ func (s Stats) Sub(t Stats) Stats {
 		SlotWrites:  s.SlotWrites - t.SlotWrites,
 		CacheHits:   s.CacheHits - t.CacheHits,
 		CacheMisses: s.CacheMisses - t.CacheMisses,
+		Evictions:   s.Evictions - t.Evictions,
+		FreeSlots:   s.FreeSlots,
 	}
 }
 
@@ -148,6 +157,8 @@ func loadStats(s *Stats) Stats {
 		SlotWrites:  atomic.LoadUint64(&s.SlotWrites),
 		CacheHits:   atomic.LoadUint64(&s.CacheHits),
 		CacheMisses: atomic.LoadUint64(&s.CacheMisses),
+		Evictions:   atomic.LoadUint64(&s.Evictions),
+		FreeSlots:   atomic.LoadInt64(&s.FreeSlots),
 	}
 }
 

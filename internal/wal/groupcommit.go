@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"bvtree/internal/obs"
 )
 
 // GroupConfig tunes a GroupCommitter.
@@ -160,7 +162,22 @@ func (g *GroupCommitter) enqueue(recs ...[]byte) (*Ticket, error) {
 // outcome. The leader's Wait lingers up to MaxWait for followers (cut
 // short when the batch fills), claims the log in batch order, writes the
 // whole batch as one frame sequence and syncs once.
+//
+// When the log carries metrics (Log.SetMetrics), Wait records its own
+// duration — the committer's enqueue-to-durable wait — into GroupWait,
+// and the leader records the batch's record count into GroupBatch.
 func (g *GroupCommitter) Wait(t *Ticket) error {
+	m := g.log.m.Load()
+	if m == nil {
+		return g.wait(t, nil)
+	}
+	start := time.Now()
+	err := g.wait(t, m)
+	m.GroupWait.ObserveSince(start)
+	return err
+}
+
+func (g *GroupCommitter) wait(t *Ticket, m *obs.WALMetrics) error {
 	b := t.b
 	if !t.leader {
 		<-b.done
@@ -192,6 +209,9 @@ func (g *GroupCommitter) Wait(t *Ticket) error {
 		if err == nil {
 			g.syncs.Add(1)
 			g.commits.Add(uint64(len(b.recs)))
+			if m != nil {
+				m.GroupBatch.Observe(int64(len(b.recs)))
+			}
 		}
 	}
 

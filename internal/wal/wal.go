@@ -27,7 +27,9 @@ import (
 	"io"
 	"os"
 	"sync/atomic"
+	"time"
 
+	"bvtree/internal/obs"
 	"bvtree/internal/vfs"
 )
 
@@ -53,7 +55,17 @@ type Log struct {
 	closed bool
 
 	batchBuf []byte // reusable AppendBatch framing scratch
+
+	// m holds the optional latency metrics. It is an atomic pointer
+	// because a group-commit leader appends outside the owner's mutex, so
+	// SetMetrics may race with an in-flight append.
+	m atomic.Pointer[obs.WALMetrics]
 }
+
+// SetMetrics directs the log's append and fsync latency recordings into m;
+// nil disables recording. Safe to call at any time, including while a
+// group commit is in flight.
+func (l *Log) SetMetrics(m *obs.WALMetrics) { l.m.Store(m) }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -160,8 +172,16 @@ func (l *Log) Append(rec []byte) error {
 	binary.LittleEndian.PutUint32(buf, uint32(len(rec)))
 	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(rec, crcTable))
 	copy(buf[recordHeader:], rec)
+	m := l.m.Load()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	if _, err := l.f.Write(buf); err != nil {
 		return fmt.Errorf("wal: append %s: %w", l.path, err)
+	}
+	if m != nil {
+		m.Append.ObserveSince(start)
 	}
 	l.size.Add(int64(len(buf)))
 	l.synced = false
@@ -204,8 +224,16 @@ func (l *Log) AppendBatch(recs [][]byte) error {
 		copy(buf[off+recordHeader:], rec)
 		off += recordHeader + len(rec)
 	}
+	m := l.m.Load()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	if _, err := l.f.Write(buf); err != nil {
 		return fmt.Errorf("wal: append batch %s: %w", l.path, err)
+	}
+	if m != nil {
+		m.Append.ObserveSince(start)
 	}
 	l.size.Add(int64(total))
 	l.synced = false
@@ -220,8 +248,16 @@ func (l *Log) Sync() error {
 	if l.synced {
 		return nil
 	}
+	m := l.m.Load()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync %s: %w", l.path, err)
+	}
+	if m != nil {
+		m.Fsync.ObserveSince(start)
 	}
 	l.synced = true
 	return nil
