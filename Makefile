@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race torture fuzz bench bench-write obs docslint
+.PHONY: verify race torture fuzz bench bench-write bench-range obs docslint
 
 # The standard verification gate: static checks, build, full test suite
 # (including the runnable godoc examples), the documentation lint (every
@@ -9,14 +9,15 @@ GO ?= go
 # run stays in the dedicated `race` target). The race smoke subset
 # covers the reader/writer stress tests, the group-commit/batch write
 # path (TestGroupCommit* in internal/wal, TestConcurrentBatch* in
-# internal/bvtree), the instrumentation path (TestConcurrentMetrics) and
-# the histogram core (TestConcurrentHistogram in internal/obs).
+# internal/bvtree), the instrumentation path (TestConcurrentMetrics),
+# the histogram core (TestConcurrentHistogram in internal/obs) and the
+# parallel range-query engine (TestParallelRange* in internal/bvtree).
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) run ./cmd/docslint
-	$(GO) test -race -run 'TestConcurrent|TestGroupCommit' ./internal/bvtree ./internal/storage ./internal/wal ./internal/obs
+	$(GO) test -race -run 'TestConcurrent|TestGroupCommit|TestParallelRange' ./internal/bvtree ./internal/storage ./internal/wal ./internal/obs
 
 # Full suite under the race detector, including the reader/writer stress
 # tests (TestConcurrent*) added with the parallel read path.
@@ -41,6 +42,13 @@ bench:
 # store); regenerates BENCH_writepath.json.
 bench-write:
 	$(GO) run ./cmd/bvbench -writepath
+
+# Range-query engine: serial walk vs the parallel engine at several
+# worker counts across query selectivities, on a file-backed 500k-point
+# tree; regenerates BENCH_rangequery.json. Rows where workers exceed
+# GOMAXPROCS are flagged [saturated]. See DESIGN.md §11.
+bench-range:
+	$(GO) run ./cmd/bvbench -rangequery
 
 # Observability overhead: per-op cost of Lookup/Insert with metrics and
 # tracing off/on (budget: ≤5% per enabled op, 0 when off); regenerates

@@ -7,6 +7,7 @@
 //	bvbench -exp all -scale 2
 //	bvbench -concurrency [-readers 1,2,4,8] [-duration 2s] [-json BENCH_concurrency.json]
 //	bvbench -writepath [-writers 8] [-writer-ops 2000] [-json BENCH_writepath.json]
+//	bvbench -rangequery [-range-workers 1,2,4,8] [-json BENCH_rangequery.json]
 //	bvbench -obs [-json BENCH_obs.json]
 //	bvbench -debug-addr localhost:6060 [-hold 10m]
 //
@@ -18,7 +19,10 @@
 // reader count exceeds the parallelism headroom (GOMAXPROCS < 2×readers)
 // are annotated as saturated. The -writepath mode measures durable insert
 // throughput under sync-per-op, group-commit and batched disciplines
-// against a file-backed store. The -obs mode prices the observability
+// against a file-backed store. The -rangequery mode compares the serial
+// range walk against the parallel range engine across a selectivity
+// sweep on a file-backed 500k-point tree and writes
+// BENCH_rangequery.json. The -obs mode prices the observability
 // layer (instrumentation off vs metrics vs metrics+tracer) and writes
 // BENCH_obs.json. -debug-addr serves expvar (with the live tree metrics
 // under the "bvtree" key) and net/http/pprof over a demo workload.
@@ -47,6 +51,8 @@ func main() {
 		writepath = flag.Bool("writepath", false, "run the durable write-throughput benchmark")
 		writers   = flag.Int("writers", 8, "concurrent writer goroutines for -writepath")
 		writerOps = flag.Int("writer-ops", 2000, "inserts per writer for -writepath")
+		rangeQ    = flag.Bool("rangequery", false, "run the parallel range-query benchmark")
+		rangeWk   = flag.String("range-workers", "1,2,4,8", "comma-separated worker counts for -rangequery (1 = serial walk)")
 		obsBench  = flag.Bool("obs", false, "run the observability-overhead benchmark")
 		debugAddr = flag.String("debug-addr", "", "serve expvar+pprof on this address over a demo workload")
 		hold      = flag.Duration("hold", 0, "how long -debug-addr serves (0 = until killed)")
@@ -69,6 +75,21 @@ func main() {
 			os.Exit(1)
 		}
 		writeJSON(rep, *jsonPath, "BENCH_obs.json")
+		return
+	}
+
+	if *rangeQ {
+		counts, err := parseReaders(*rangeWk)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bvbench: %v\n", err)
+			os.Exit(2)
+		}
+		rep, err := bench.RunRangeQuery(os.Stdout, *scale, counts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bvbench: rangequery: %v\n", err)
+			os.Exit(1)
+		}
+		writeJSON(rep, *jsonPath, "BENCH_rangequery.json")
 		return
 	}
 

@@ -81,12 +81,16 @@ func TestRangeQueryAllocs(t *testing.T) {
 	tr, _ := buildAllocTree(t, 4000)
 	rect := geometry.UniverseRect(2)
 	count := 0
+	// Pinned to workers=1: the serial reference walk carries the
+	// allocation guarantee. The parallel engine allocates by design
+	// (goroutines, channels, per-batch buffers) and is only engaged when
+	// a query resolves to workers > 1.
 	allocs := testing.AllocsPerRun(20, func() {
 		count = 0
-		err := tr.RangeQuery(rect, func(geometry.Point, uint64) bool {
+		err := tr.RangeQueryWorkers(rect, func(geometry.Point, uint64) bool {
 			count++
 			return true
-		})
+		}, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

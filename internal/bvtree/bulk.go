@@ -22,18 +22,21 @@ func (t *Tree) BulkLoad(points []geometry.Point, payloads []uint64) error {
 		addr region.BitString
 		i    int
 	}
+	// One shared-lock acquisition for the whole address pass: addr only
+	// reads the tree's immutable interleaver, so taking (and releasing)
+	// the exclusive lock once per point — as this loop used to — bought
+	// nothing but contention against concurrent readers.
 	recs := make([]rec, len(points))
+	t.mu.RLock()
 	for i, p := range points {
-		a, err := func() (region.BitString, error) {
-			t.mu.Lock()
-			defer t.mu.Unlock()
-			return t.addr(p)
-		}()
+		a, err := t.addr(p)
 		if err != nil {
+			t.mu.RUnlock()
 			return err
 		}
 		recs[i] = rec{addr: a, i: i}
 	}
+	t.mu.RUnlock()
 	sort.Slice(recs, func(a, b int) bool {
 		return recs[a].addr.Compare(recs[b].addr) < 0
 	})

@@ -22,11 +22,11 @@ import (
 // separate fault filesystems, so a fault can be aimed at one side of the
 // protocol precisely.
 type matrixEnv struct {
-	dir              string
-	storeFS, walFS   *fault.FS
-	st               *storage.FileStore
-	d                *DurableTree
-	base             []geometry.Point // baseline items, payload = index
+	dir            string
+	storeFS, walFS *fault.FS
+	st             *storage.FileStore
+	d              *DurableTree
+	base           []geometry.Point // baseline items, payload = index
 }
 
 func newMatrixEnv(t *testing.T) *matrixEnv {

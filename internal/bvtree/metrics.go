@@ -47,16 +47,19 @@ func (t *Tree) getTracer() obs.Tracer {
 // atomic Stats are already metrics; this is the only conversion point.
 func storeSnapshot(st storage.Stats) obs.StoreSnapshot {
 	ss := obs.StoreSnapshot{
-		Allocs:      st.Allocs,
-		Frees:       st.Frees,
-		NodeReads:   st.NodeReads,
-		NodeWrites:  st.NodeWrites,
-		SlotReads:   st.SlotReads,
-		SlotWrites:  st.SlotWrites,
-		CacheHits:   st.CacheHits,
-		CacheMisses: st.CacheMisses,
-		Evictions:   st.Evictions,
-		FreeSlots:   st.FreeSlots,
+		Allocs:          st.Allocs,
+		Frees:           st.Frees,
+		NodeReads:       st.NodeReads,
+		NodeWrites:      st.NodeWrites,
+		SlotReads:       st.SlotReads,
+		SlotWrites:      st.SlotWrites,
+		CacheHits:       st.CacheHits,
+		CacheMisses:     st.CacheMisses,
+		Evictions:       st.Evictions,
+		BatchReads:      st.BatchReads,
+		Prefetches:      st.Prefetches,
+		PrefetchedSlots: st.PrefetchedSlots,
+		FreeSlots:       st.FreeSlots,
 	}
 	if tot := st.CacheHits + st.CacheMisses; tot > 0 {
 		ss.HitRatio = float64(st.CacheHits) / float64(tot)

@@ -72,6 +72,12 @@ func (t *Tree) nearestLocked(p geometry.Point, k int) ([]Neighbor, error) {
 		return best[0].Dist
 	}
 
+	// Candidate prefetch: the children pushed while expanding a node are
+	// exactly the pages the best-first loop pops next, so hinting the
+	// pager as they are pushed overlaps their I/O with the distance work
+	// on the current page.
+	var pfIDs, pfScratch []page.ID
+
 	for pq.Len() > 0 {
 		it := heap.Pop(pq).(distItem)
 		if it.dist > worst() {
@@ -97,12 +103,17 @@ func (t *Tree) nearestLocked(p geometry.Point, k int) ([]Neighbor, error) {
 		if err != nil {
 			return nil, err
 		}
+		pfIDs = pfIDs[:0]
 		for _, e := range n.Entries {
 			brick := region.Brick(e.Key, t.opt.Dims)
 			d := minDistToRect(p, brick)
 			if d <= worst() {
 				heap.Push(pq, distItem{dist: d, id: e.Child, level: e.Level})
+				pfIDs = append(pfIDs, e.Child)
 			}
+		}
+		if t.paged != nil && len(pfIDs) > 1 {
+			pfScratch = t.paged.prefetch(pfIDs, pfScratch)
 		}
 	}
 

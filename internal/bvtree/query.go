@@ -2,6 +2,7 @@ package bvtree
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"bvtree/internal/geometry"
@@ -15,27 +16,42 @@ import (
 type Visitor func(p geometry.Point, payload uint64) bool
 
 // RangeQuery invokes visit for every stored item inside rect (boundaries
-// inclusive). Traversal order is unspecified.
+// inclusive). Traversal order is unspecified. visit is always called
+// from the calling goroutine, one item at a time, even when the
+// traversal itself runs on the parallel range engine (see
+// Options.RangeWorkers); returning false stops the query early.
 //
 // Range search needs no guard-set bookkeeping: every entry — promoted or
 // not — whose brick intersects the query rectangle is visited, and since
 // each page is pointed to by exactly one entry, no page is scanned twice.
 // A region's points are a subset of its brick, so brick intersection is a
-// sound and complete pruning test.
+// sound and complete pruning test. This also makes the fan-out safe to
+// parallelise: qualifying subtrees are disjoint work.
 func (t *Tree) RangeQuery(rect geometry.Rect, visit Visitor) error {
+	return t.RangeQueryWorkers(rect, visit, 0)
+}
+
+// RangeQueryWorkers is RangeQuery with a per-query worker override:
+// 0 uses the tree's default (Options.RangeWorkers), 1 forces the serial
+// reference walk, n > 1 caps the engine's pool at n workers.
+func (t *Tree) RangeQueryWorkers(rect geometry.Rect, visit Visitor, workers int) error {
+	if workers < 0 {
+		return fmt.Errorf("bvtree: negative range worker count %d", workers)
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	defer t.endOp()
+	workers = t.rangeWorkers(workers)
 	m, tr := t.metrics, t.tracer
 	if m == nil && tr == nil {
-		return t.rangeQueryLocked(rect, visit)
+		return t.rangeQueryLocked(rect, visit, workers)
 	}
 	start := time.Now()
 	var visited int64
 	err := t.rangeQueryLocked(rect, func(p geometry.Point, payload uint64) bool {
 		visited++
 		return visit(p, payload)
-	})
+	}, workers)
 	dur := time.Since(start)
 	if m != nil {
 		m.RangeQuery.Observe(int64(dur))
@@ -46,8 +62,23 @@ func (t *Tree) RangeQuery(rect geometry.Rect, visit Visitor) error {
 	return err
 }
 
-// rangeQueryLocked is RangeQuery's body (shared lock held).
-func (t *Tree) rangeQueryLocked(rect geometry.Rect, visit Visitor) error {
+// rangeWorkers resolves a per-query worker override against the tree
+// default and the machine width.
+func (t *Tree) rangeWorkers(override int) int {
+	w := override
+	if w == 0 {
+		w = t.opt.RangeWorkers
+	}
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// rangeQueryLocked is the query body (shared lock held). workers <= 1
+// runs the serial reference walk; otherwise the breadth-first descent
+// engages the parallel engine once the frontier shows real fan-out.
+func (t *Tree) rangeQueryLocked(rect geometry.Rect, visit Visitor, workers int) error {
 	if rect.Dims() != t.opt.Dims {
 		return fmt.Errorf("bvtree: query rect has %d dims, tree has %d", rect.Dims(), t.opt.Dims)
 	}
@@ -55,10 +86,39 @@ func (t *Tree) rangeQueryLocked(rect geometry.Rect, visit Visitor) error {
 		_, err := t.scanData(t.root, rect, visit)
 		return err
 	}
-	_, err := t.rangeNode(t.root, rect, visit)
-	return err
+	if workers <= 1 || !t.engineWorthwhile(rect) {
+		_, err := t.rangeNode(t.root, rect, visit)
+		return err
+	}
+	return t.parallelRange(rect, visit, workers)
 }
 
+// engineWorthwhile estimates how many data pages rect will touch and
+// reports whether that is enough work for the parallel engine to beat
+// the serial walk. The estimate is the classic uniform-density one:
+// rect's fraction of the universe volume times the tree's page count.
+// It exists because frontier shape alone cannot make this call in a
+// BV-tree — guard entries give even a point query a frontier of dozens
+// of qualifying subtrees (each visited node's guards contain the
+// point), so a point-like window fans out in breadth while carrying no
+// data volume, and pool spin-up plus per-task accounting would be pure
+// overhead on it. Skewed data can make the estimate low for a hot
+// window; the failure mode is benign — the query runs serially and
+// correctly, it just forgoes parallelism.
+func (t *Tree) engineWorthwhile(rect geometry.Rect) bool {
+	const minEnginePages = 64
+	const two64 = float64(1 << 64)
+	frac := 1.0
+	for d := range rect.Min {
+		frac *= (float64(rect.Max[d]-rect.Min[d]) + 1) / two64
+	}
+	return frac*float64(t.size) >= minEnginePages*float64(t.opt.DataCapacity)
+}
+
+// rangeNode is the serial reference walk: a plain recursive descent,
+// deliberately untouched by the engine's batching and containment
+// machinery so it remains the trusted baseline the differential tests
+// (and the engine's own speedup claims) compare against.
 func (t *Tree) rangeNode(id page.ID, rect geometry.Rect, visit Visitor) (bool, error) {
 	n, err := t.fetchIndex(id)
 	if err != nil {
@@ -102,6 +162,139 @@ func (t *Tree) scanData(id page.ID, rect geometry.Rect, visit Visitor) (bool, er
 	return true, nil
 }
 
+// qualifyRange reports whether an entry's subtree can hold matches and
+// whether its brick is fully contained in rect. Containment of the
+// parent implies containment of every child, so parentFull
+// short-circuits both geometry tests.
+func qualifyRange(en *page.Entry, parentFull bool, dims int, rect geometry.Rect) (qualifies, full bool) {
+	if parentFull {
+		return true, true
+	}
+	// Intersection first: most entries of most nodes fail it, and paying
+	// the containment test only for the few that pass keeps this exactly
+	// as cheap as the serial walk's single test on the reject path.
+	if !region.BrickIntersects(en.Key, dims, rect) {
+		return false, false
+	}
+	return true, region.BrickWithin(en.Key, dims, rect)
+}
+
+// parallelRange is the engine-path descent. It expands the tree
+// breadth-first on the calling goroutine — scanning qualifying data
+// pages as they surface, through the batched read seam — until the
+// frontier of qualifying index subtrees reaches spinUpFanout(workers),
+// and only then hands the frontier to the worker pool as seeds. Queries
+// without that much independent work (point-like windows, and the
+// boundary-straddling lookups that guard entries make common: two
+// qualifying children is not evidence of real fan-out in a BV-tree)
+// complete during the expansion and never pay pool startup.
+func (t *Tree) parallelRange(rect geometry.Rect, visit Visitor, workers int) error {
+	frontier := []rangeTask{{id: t.root}}
+	var dataIDs []page.ID
+	var dataFull []bool
+	// The spin-up condition demands breadth explosion, not mere frontier
+	// size: guard entries let a point-like query accrete ~one extra
+	// subtree per node visited, so a fixed threshold would eventually
+	// trip on queries with no volume at all. Requiring the frontier to
+	// outgrow the pop count admits only windows that multiply their
+	// frontier as they descend.
+	for pops := 0; len(frontier) > 0 && len(frontier) < spinUpFanout(workers)+pops; pops++ {
+		task := frontier[0]
+		frontier = frontier[:copy(frontier, frontier[1:])]
+		n, err := t.fetchIndex(task.id)
+		if err != nil {
+			return err
+		}
+		dataIDs, dataFull = dataIDs[:0], dataFull[:0]
+		for i := range n.Entries {
+			en := &n.Entries[i]
+			q, f := qualifyRange(en, task.full, t.opt.Dims, rect)
+			if !q {
+				continue
+			}
+			if en.Level == 0 {
+				dataIDs = append(dataIDs, en.Child)
+				dataFull = append(dataFull, f)
+			} else {
+				frontier = append(frontier, rangeTask{id: en.Child, level: en.Level, full: f})
+			}
+		}
+		if len(dataIDs) > 0 {
+			cont, err := t.scanDataSet(dataIDs, dataFull, rect, visit)
+			if err != nil || !cont {
+				return err
+			}
+		}
+	}
+	if len(frontier) == 0 {
+		return nil
+	}
+	e := newRangeEngine(t, rect, workers, false)
+	return e.run(frontier, visit)
+}
+
+// scanDataSet scans a set of qualifying data pages serially through the
+// batched read seam: one coalesced fetch for the cold pages, streaming
+// decode outside the decoded-node cache, and no per-point containment
+// test for pages whose brick lies inside rect.
+func (t *Tree) scanDataSet(ids []page.ID, full []bool, rect geometry.Rect, visit Visitor) (bool, error) {
+	pn := t.paged
+	if pn == nil {
+		for i, id := range ids {
+			dp, err := t.fetchData(id)
+			if err != nil {
+				return false, err
+			}
+			if full[i] {
+				t.stats.RangeFullPages.Inc()
+			}
+			for _, it := range dp.Items {
+				if full[i] || rect.Contains(it.Point) {
+					if !visit(it.Point, it.Payload) {
+						return false, nil
+					}
+				}
+			}
+		}
+		return true, nil
+	}
+	pages, blobs, miss, err := pn.dataBatch(ids, nil, nil, nil)
+	if err != nil {
+		return false, err
+	}
+	if len(miss) > 0 {
+		t.stats.RangeBatchPages.Add(uint64(len(miss)))
+	}
+	// Blob pages decode into one coordinate arena local to this call —
+	// never reused afterwards, so visitors may retain points, which the
+	// cache-admission path also permits (arena growth orphans rather than
+	// overwrites earlier backings; see page.AppendDataItems).
+	var coords []uint64
+	for i := range ids {
+		t.stats.NodeAccesses.Inc()
+		items := []page.Item(nil)
+		if dp := pages[i]; dp != nil {
+			items = dp.Items
+		} else {
+			items, coords, err = page.AppendDataItems(blobs[i], nil, coords)
+			if err != nil {
+				return false, err
+			}
+		}
+		if full[i] {
+			t.stats.RangeFullPages.Inc()
+		}
+		for j := range items {
+			if full[i] || rect.Contains(items[j].Point) {
+				if !visit(items[j].Point, items[j].Payload) {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
 // PartialMatch answers a partial-match query: values[i] constrains
 // dimension i exactly when specified[i] is true; unconstrained dimensions
 // range over the whole domain. This is the m-of-n attribute query the
@@ -125,9 +318,218 @@ func (t *Tree) Scan(visit Visitor) error {
 	return t.RangeQuery(geometry.UniverseRect(t.opt.Dims), visit)
 }
 
-// Count returns the number of items inside rect.
+// Count returns the number of items inside rect. It runs a count-only
+// traversal — no per-item visitor call — in which a data page fully
+// contained in rect contributes its item count without being decoded
+// item by item.
 func (t *Tree) Count(rect geometry.Rect) (int, error) {
-	n := 0
-	err := t.RangeQuery(rect, func(geometry.Point, uint64) bool { n++; return true })
-	return n, err
+	return t.CountWorkers(rect, 0)
+}
+
+// CountWorkers is Count with a per-query worker override, interpreted as
+// in RangeQueryWorkers.
+func (t *Tree) CountWorkers(rect geometry.Rect, workers int) (int, error) {
+	if workers < 0 {
+		return 0, fmt.Errorf("bvtree: negative range worker count %d", workers)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	defer t.endOp()
+	workers = t.rangeWorkers(workers)
+	m, tr := t.metrics, t.tracer
+	if m == nil && tr == nil {
+		n, err := t.countLocked(rect, workers)
+		return int(n), err
+	}
+	start := time.Now()
+	n, err := t.countLocked(rect, workers)
+	dur := time.Since(start)
+	if m != nil {
+		m.RangeQuery.Observe(int64(dur))
+	}
+	if tr != nil {
+		tr.Trace(obs.Event{Layer: obs.LayerTree, Op: obs.OpRangeQuery, Dur: dur, N: n, Err: err != nil})
+	}
+	return int(n), err
+}
+
+// countScratch is the reusable state of the serial count walk.
+type countScratch struct {
+	dataIDs  []page.ID
+	dataFull []bool
+	pages    []*page.DataPage
+	blobs    [][]byte
+	miss     []page.ID
+	items    []page.Item
+	coords   []uint64
+}
+
+// countLocked is the count body (shared lock held).
+func (t *Tree) countLocked(rect geometry.Rect, workers int) (int64, error) {
+	if rect.Dims() != t.opt.Dims {
+		return 0, fmt.Errorf("bvtree: query rect has %d dims, tree has %d", rect.Dims(), t.opt.Dims)
+	}
+	var cs countScratch
+	if t.rootLevel == 0 {
+		full := region.BrickWithin(region.BitString{}, t.opt.Dims, rect)
+		return t.countDataSet([]page.ID{t.root}, []bool{full}, rect, &cs)
+	}
+	if workers <= 1 || !t.engineWorthwhile(rect) {
+		return t.countNode(t.root, false, rect, &cs)
+	}
+	// The same breadth-first expansion as parallelRange (including the
+	// breadth-explosion spin-up condition), in counting mode.
+	frontier := []rangeTask{{id: t.root}}
+	total := int64(0)
+	for pops := 0; len(frontier) > 0 && len(frontier) < spinUpFanout(workers)+pops; pops++ {
+		task := frontier[0]
+		frontier = frontier[:copy(frontier, frontier[1:])]
+		n, err := t.fetchIndex(task.id)
+		if err != nil {
+			return 0, err
+		}
+		cs.dataIDs, cs.dataFull = cs.dataIDs[:0], cs.dataFull[:0]
+		for i := range n.Entries {
+			en := &n.Entries[i]
+			q, f := qualifyRange(en, task.full, t.opt.Dims, rect)
+			if !q {
+				continue
+			}
+			if en.Level == 0 {
+				cs.dataIDs = append(cs.dataIDs, en.Child)
+				cs.dataFull = append(cs.dataFull, f)
+			} else {
+				frontier = append(frontier, rangeTask{id: en.Child, level: en.Level, full: f})
+			}
+		}
+		if len(cs.dataIDs) > 0 {
+			sub, err := t.countDataSet(cs.dataIDs, cs.dataFull, rect, &cs)
+			if err != nil {
+				return 0, err
+			}
+			total += sub
+		}
+	}
+	if len(frontier) == 0 {
+		return total, nil
+	}
+	e := newRangeEngine(t, rect, workers, true)
+	sub, err := e.runCount(frontier)
+	return total + sub, err
+}
+
+// countNode is the serial count-only traversal: the qualifying data
+// children of each node are counted through the batched read seam (a
+// fully contained page costs one item-count decode), then the index
+// children are recursed into. The scratch is safe to share with the
+// recursion because each node finishes its data pass before descending.
+func (t *Tree) countNode(id page.ID, full bool, rect geometry.Rect, cs *countScratch) (int64, error) {
+	n, err := t.fetchIndex(id)
+	if err != nil {
+		return 0, err
+	}
+	cs.dataIDs, cs.dataFull = cs.dataIDs[:0], cs.dataFull[:0]
+	for i := range n.Entries {
+		en := &n.Entries[i]
+		if en.Level != 0 {
+			continue
+		}
+		if q, f := qualifyRange(en, full, t.opt.Dims, rect); q {
+			cs.dataIDs = append(cs.dataIDs, en.Child)
+			cs.dataFull = append(cs.dataFull, f)
+		}
+	}
+	total := int64(0)
+	if len(cs.dataIDs) > 0 {
+		total, err = t.countDataSet(cs.dataIDs, cs.dataFull, rect, cs)
+		if err != nil {
+			return 0, err
+		}
+	}
+	for i := range n.Entries {
+		en := &n.Entries[i]
+		if en.Level == 0 {
+			continue
+		}
+		if q, f := qualifyRange(en, full, t.opt.Dims, rect); q {
+			sub, err := t.countNode(en.Child, f, rect, cs)
+			if err != nil {
+				return 0, err
+			}
+			total += sub
+		}
+	}
+	return total, nil
+}
+
+// countDataSet counts the matching items of a set of qualifying data
+// pages. Pages fully contained in rect are counted without a per-point
+// test; on paged trees a cold fully-contained page is not even
+// item-decoded (page.DecodeDataCount).
+func (t *Tree) countDataSet(ids []page.ID, full []bool, rect geometry.Rect, cs *countScratch) (int64, error) {
+	total := int64(0)
+	pn := t.paged
+	if pn == nil {
+		for i, id := range ids {
+			dp, err := t.fetchData(id)
+			if err != nil {
+				return 0, err
+			}
+			if full[i] {
+				t.stats.RangeFullPages.Inc()
+				total += int64(len(dp.Items))
+				continue
+			}
+			for _, it := range dp.Items {
+				if rect.Contains(it.Point) {
+					total++
+				}
+			}
+		}
+		return total, nil
+	}
+	var err error
+	cs.pages, cs.blobs, cs.miss, err = pn.dataBatch(ids, cs.pages, cs.blobs, cs.miss)
+	if err != nil {
+		return 0, err
+	}
+	if len(cs.miss) > 0 {
+		t.stats.RangeBatchPages.Add(uint64(len(cs.miss)))
+	}
+	for i := range ids {
+		t.stats.NodeAccesses.Inc()
+		if dp := cs.pages[i]; dp != nil {
+			if full[i] {
+				t.stats.RangeFullPages.Inc()
+				total += int64(len(dp.Items))
+				continue
+			}
+			for _, it := range dp.Items {
+				if rect.Contains(it.Point) {
+					total++
+				}
+			}
+			continue
+		}
+		if full[i] {
+			n, err := page.DecodeDataCount(cs.blobs[i])
+			if err != nil {
+				return 0, err
+			}
+			t.stats.RangeFullPages.Inc()
+			total += int64(n)
+			continue
+		}
+		cs.items, cs.coords = cs.items[:0], cs.coords[:0]
+		cs.items, cs.coords, err = page.AppendDataItems(cs.blobs[i], cs.items, cs.coords)
+		if err != nil {
+			return 0, err
+		}
+		for j := range cs.items {
+			if rect.Contains(cs.items[j].Point) {
+				total++
+			}
+		}
+	}
+	return total, nil
 }

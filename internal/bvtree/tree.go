@@ -46,6 +46,13 @@ type Options struct {
 	// CacheNodes bounds the decoded-node cache of a paged tree
 	// (default 4096); ignored by in-memory trees.
 	CacheNodes int
+	// RangeWorkers is the default worker-pool width of range queries
+	// (RangeQuery, PartialMatch, Scan, Count). 0 uses GOMAXPROCS; 1 keeps
+	// every query on the serial reference walk; n > 1 lets a query whose
+	// frontier branches fan its subtrees out to at most n workers.
+	// Individual queries can override it (RangeQueryWorkers,
+	// CountWorkers). Negative values are rejected.
+	RangeWorkers int
 	// Metrics enables the per-operation latency and shape histograms
 	// reported by (*Tree).Metrics. The structural event counters (OpStats)
 	// are always on; this switch only controls the histograms, whose cost
@@ -75,6 +82,9 @@ func (o *Options) fill() error {
 	}
 	if o.BitsPerDim < 1 || o.BitsPerDim > 64 {
 		return fmt.Errorf("bvtree: BitsPerDim %d out of range 1..64", o.BitsPerDim)
+	}
+	if o.RangeWorkers < 0 {
+		return fmt.Errorf("bvtree: negative RangeWorkers %d", o.RangeWorkers)
 	}
 	return nil
 }

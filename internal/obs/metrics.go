@@ -14,16 +14,19 @@ import "sync/atomic"
 // views can never disagree. Field semantics are documented on the
 // TreeCountersSnapshot mirror below.
 type TreeCounters struct {
-	NodeAccesses   Counter
-	DataSplits     Counter
-	IndexSplits    Counter
-	Promotions     Counter
-	Demotions      Counter
-	Merges         Counter
-	Resplits       Counter
-	MergeDeferrals Counter
-	SoftOverflows  Counter
-	RootGrowths    Counter
+	NodeAccesses    Counter
+	DataSplits      Counter
+	IndexSplits     Counter
+	Promotions      Counter
+	Demotions       Counter
+	Merges          Counter
+	Resplits        Counter
+	MergeDeferrals  Counter
+	SoftOverflows   Counter
+	RootGrowths     Counter
+	RangeTasks      Counter
+	RangeFullPages  Counter
+	RangeBatchPages Counter
 }
 
 // TreeCountersSnapshot is a point-in-time copy of TreeCounters.
@@ -49,21 +52,34 @@ type TreeCountersSnapshot struct {
 	SoftOverflows uint64 `json:"soft_overflows"`
 	// RootGrowths counts increments of the index height.
 	RootGrowths uint64 `json:"root_growths"`
+	// RangeTasks counts subtree tasks executed by the parallel range
+	// engine (zero while queries stay on the serial walk).
+	RangeTasks uint64 `json:"range_tasks"`
+	// RangeFullPages counts data pages the range engine emitted or
+	// counted through the full-containment fast path, i.e. without a
+	// per-point rectangle test.
+	RangeFullPages uint64 `json:"range_full_pages"`
+	// RangeBatchPages counts data pages the range engine fetched through
+	// the store's batched read seam instead of point reads.
+	RangeBatchPages uint64 `json:"range_batch_pages"`
 }
 
 // Snapshot copies the counters.
 func (c *TreeCounters) Snapshot() TreeCountersSnapshot {
 	return TreeCountersSnapshot{
-		NodeAccesses:   c.NodeAccesses.Load(),
-		DataSplits:     c.DataSplits.Load(),
-		IndexSplits:    c.IndexSplits.Load(),
-		Promotions:     c.Promotions.Load(),
-		Demotions:      c.Demotions.Load(),
-		Merges:         c.Merges.Load(),
-		Resplits:       c.Resplits.Load(),
-		MergeDeferrals: c.MergeDeferrals.Load(),
-		SoftOverflows:  c.SoftOverflows.Load(),
-		RootGrowths:    c.RootGrowths.Load(),
+		NodeAccesses:    c.NodeAccesses.Load(),
+		DataSplits:      c.DataSplits.Load(),
+		IndexSplits:     c.IndexSplits.Load(),
+		Promotions:      c.Promotions.Load(),
+		Demotions:       c.Demotions.Load(),
+		Merges:          c.Merges.Load(),
+		Resplits:        c.Resplits.Load(),
+		MergeDeferrals:  c.MergeDeferrals.Load(),
+		SoftOverflows:   c.SoftOverflows.Load(),
+		RootGrowths:     c.RootGrowths.Load(),
+		RangeTasks:      c.RangeTasks.Load(),
+		RangeFullPages:  c.RangeFullPages.Load(),
+		RangeBatchPages: c.RangeBatchPages.Load(),
 	}
 }
 
@@ -81,6 +97,7 @@ type TreeMetrics struct {
 	DescentDepth Histogram // nodes visited per exact-match descent (sampled)
 	GuardSet     Histogram // max guard-set size per descent (sampled; paper bound: ≤ x−1)
 	BatchSize    Histogram // operations per applied batch
+	RangeFanout  Histogram // qualifying children per parallel range-engine task
 
 	descentSeq atomic.Uint64 // drives the 1-in-descentSampleRate shape sampling
 }
@@ -123,6 +140,7 @@ type TreeSnapshot struct {
 	DescentDepth HistogramSnapshot `json:"descent_depth"`
 	GuardSet     HistogramSnapshot `json:"guard_set"`
 	BatchSize    HistogramSnapshot `json:"batch_size"`
+	RangeFanout  HistogramSnapshot `json:"range_fanout"`
 }
 
 // Snapshot summarises the histograms.
@@ -138,6 +156,7 @@ func (m *TreeMetrics) Snapshot() TreeSnapshot {
 		DescentDepth:   m.DescentDepth.Snapshot(),
 		GuardSet:       m.GuardSet.Snapshot(),
 		BatchSize:      m.BatchSize.Snapshot(),
+		RangeFanout:    m.RangeFanout.Snapshot(),
 	}
 }
 
@@ -193,6 +212,10 @@ type StoreSnapshot struct {
 	CacheMisses uint64  `json:"cache_misses"`
 	Evictions   uint64  `json:"evictions"`
 	HitRatio    float64 `json:"hit_ratio"` // hits / (hits+misses), 0 when idle
+	// Batched-read and prefetch seam activity (see storage.Stats).
+	BatchReads      uint64 `json:"batch_reads"`
+	Prefetches      uint64 `json:"prefetches"`
+	PrefetchedSlots uint64 `json:"prefetched_slots"`
 	// FreeSlots is the current free-list length (a gauge).
 	FreeSlots int64 `json:"free_slots"`
 }

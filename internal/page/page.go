@@ -174,6 +174,76 @@ func DecodeData(b []byte) (*DataPage, int, error) {
 	return p, dims, r.err
 }
 
+// AppendDataItems decodes the items of an encoded data page, appending
+// them to dst with their point coordinates packed into coords, and
+// returns the extended slices. Unlike DecodeData — which allocates one
+// Point per item and is meant for pages that stay resident in a cache —
+// this is the streaming decode of the range engine: one page costs at
+// most two slice growths regardless of item count. Appending to coords
+// may relocate its backing array; points appended by earlier calls keep
+// referencing the old array, so previously returned items stay valid.
+func AppendDataItems(b []byte, dst []Item, coords []uint64) ([]Item, []uint64, error) {
+	r, err := newReader(b)
+	if err != nil {
+		return dst, coords, err
+	}
+	if r.kind != KindData {
+		return dst, coords, fmt.Errorf("page: expected data page, found kind %d", r.kind)
+	}
+	dims := int(r.u32())
+	if dims < 1 || dims > geometry.MaxDims {
+		return dst, coords, fmt.Errorf("page: implausible dimensionality %d", dims)
+	}
+	r.bits() // page region, not needed by a scan
+	count := int(r.u32())
+	if count < 0 || count > 1<<24 {
+		return dst, coords, fmt.Errorf("page: implausible item count %d", count)
+	}
+	if !r.need(count * (dims + 1) * 8) {
+		return dst, coords, r.err
+	}
+	// Grow coords once for the whole page so the per-item point headers
+	// sliced below cannot be invalidated by a mid-page relocation.
+	base := len(coords)
+	if cap(coords)-base < count*dims {
+		grown := make([]uint64, base, base+count*dims)
+		copy(grown, coords)
+		coords = grown
+	}
+	coords = coords[:base+count*dims]
+	for i := 0; i < count; i++ {
+		pt := coords[base+i*dims : base+(i+1)*dims : base+(i+1)*dims]
+		for d := 0; d < dims; d++ {
+			pt[d] = r.u64()
+		}
+		dst = append(dst, Item{Point: pt, Payload: r.u64()})
+	}
+	return dst, coords, r.err
+}
+
+// DecodeDataCount returns the item count of an encoded data page without
+// decoding the items. It is the whole cost of counting a data page whose
+// region is fully contained in a query rectangle.
+func DecodeDataCount(b []byte) (int, error) {
+	r, err := newReader(b)
+	if err != nil {
+		return 0, err
+	}
+	if r.kind != KindData {
+		return 0, fmt.Errorf("page: expected data page, found kind %d", r.kind)
+	}
+	dims := int(r.u32())
+	if dims < 1 || dims > geometry.MaxDims {
+		return 0, fmt.Errorf("page: implausible dimensionality %d", dims)
+	}
+	r.bits()
+	count := int(r.u32())
+	if count < 0 || count > 1<<24 {
+		return 0, fmt.Errorf("page: implausible item count %d", count)
+	}
+	return count, r.err
+}
+
 // --- encoding primitives ---
 
 type writer struct {

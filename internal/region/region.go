@@ -55,6 +55,39 @@ func BrickIntersects(b BitString, dims int, rect geometry.Rect) bool {
 	return true
 }
 
+// BrickWithin reports whether the brick of b lies entirely inside rect,
+// without materialising the brick. It is the full-containment test of the
+// range-query fast path: when a subtree's brick is contained in the query
+// rectangle, every point below it matches and the per-point Contains
+// filter (and every deeper BrickIntersects test) can be skipped. The
+// bounds narrow in fixed-size stack arrays exactly as in BrickIntersects;
+// containment can only be established once the loop has consumed the
+// whole prefix, so the final check runs over the finished bounds.
+func BrickWithin(b BitString, dims int, rect geometry.Rect) bool {
+	if dims != rect.Dims() {
+		return false
+	}
+	var min, max [geometry.MaxDims]uint64
+	for d := 0; d < dims; d++ {
+		max[d] = ^uint64(0)
+	}
+	for i := 0; i < b.Len(); i++ {
+		dim := i % dims
+		half := (max[dim]-min[dim])/2 + 1
+		if b.Bit(i) == 0 {
+			max[dim] = min[dim] + half - 1
+		} else {
+			min[dim] = min[dim] + half
+		}
+	}
+	for d := 0; d < dims; d++ {
+		if min[d] < rect.Min[d] || max[d] > rect.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
 // DirectEncloser returns the longest proper prefix of key present in keys,
 // i.e. the region that directly encloses key within the given set. ok is
 // false when no region in the set encloses key.

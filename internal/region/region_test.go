@@ -291,3 +291,43 @@ func BenchmarkBrickIntersects(b *testing.B) {
 		BrickIntersects(bits, 2, rect)
 	}
 }
+
+func TestBrickWithinMatchesBrick(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	contained := 0
+	for i := 0; i < 5000; i++ {
+		dims := 1 + rng.Intn(4)
+		b := randBits(rng, 12) // short prefixes: big bricks, so containment actually occurs
+		rect := geometry.UniverseRect(dims)
+		for d := 0; d < dims; d++ {
+			a, c := rng.Uint64(), rng.Uint64()
+			if a > c {
+				a, c = c, a
+			}
+			if rng.Intn(3) == 0 {
+				a, c = 0, ^uint64(0) // whole dimension: containment-friendly
+			}
+			rect.Min[d], rect.Max[d] = a, c
+		}
+		want := rect.ContainsRect(Brick(b, dims))
+		if want {
+			contained++
+		}
+		if got := BrickWithin(b, dims, rect); got != want {
+			t.Fatalf("BrickWithin(%v, %d, %v) = %v, Brick path says %v", b, dims, rect, got, want)
+		}
+	}
+	if contained == 0 {
+		t.Fatal("no trial exercised the contained case")
+	}
+	// Dimension mismatch is rejected, mirroring Rect.ContainsRect.
+	if BrickWithin(randBits(rng, 8), 2, geometry.UniverseRect(3)) {
+		t.Fatal("dimension mismatch must not be contained")
+	}
+	// Containment implies intersection.
+	bits := randBits(rng, 6)
+	r := geometry.UniverseRect(2)
+	if BrickWithin(bits, 2, r) && !BrickIntersects(bits, 2, r) {
+		t.Fatal("contained brick must intersect")
+	}
+}

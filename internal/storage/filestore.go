@@ -60,6 +60,10 @@ type FileStore struct {
 	shards   [poolShards]poolShard
 	closed   bool
 
+	// prefetchInflight bounds concurrent Prefetch goroutines; excess
+	// hints are dropped (see Prefetch).
+	prefetchInflight atomic.Int32
+
 	stateMu  sync.Mutex // guards poisoned; a read-path eviction can poison
 	poisoned error
 }
@@ -112,7 +116,7 @@ func (l *frameList) remove(f *frame) {
 
 const (
 	fileMagic      = 0xB7EEF11E00000001
-	fileVersion    = 2 // v2: checksummed header, rollback journal
+	fileVersion    = 2  // v2: checksummed header, rollback journal
 	slotHeaderSize = 12 // next slot (8) + fragment length (4)
 	minSlotSize    = 64
 	headerSize     = 40 // magic(8) + version(4) + slotSize(4) + nextSlot(8) + freeHead(8) + crc(4) + reserved(4)
@@ -482,6 +486,21 @@ func (s *FileStore) ReadNode(id page.ID) ([]byte, error) {
 	if err := s.usable(); err != nil {
 		return nil, err
 	}
+	return s.readNodeLocked(id)
+}
+
+// readNodeLocked is ReadNode's body (shared store lock held, usable
+// already checked).
+func (s *FileStore) readNodeLocked(id page.ID) ([]byte, error) {
+	return s.readNodeVia(id, nil)
+}
+
+// readNodeVia assembles a node's slot chain, taking each slot's image
+// from peek when it has one and from the buffer pool (loading on miss)
+// otherwise. peek is how ReadNodes serves batch-read slots out of its
+// coalesced run buffers without admitting them to the pool; nil means
+// every slot goes through the pool.
+func (s *FileStore) readNodeVia(id page.ID, peek func(uint64) []byte) ([]byte, error) {
 	atomic.AddUint64(&s.stats.NodeReads, 1)
 	var out []byte
 	var hops uint64
@@ -490,22 +509,232 @@ func (s *FileStore) ReadNode(id page.ID) ([]byte, error) {
 		if hops++; hops > s.nextSlot {
 			return nil, fmt.Errorf("%w: slot chain cycle at page %d", ErrCorrupt, id)
 		}
-		fr, err := s.frameFor(slot, true)
-		if err != nil {
-			return nil, err
+		var buf []byte
+		if peek != nil {
+			buf = peek(slot)
 		}
-		next := binary.LittleEndian.Uint64(fr.buf)
+		if buf == nil {
+			fr, err := s.frameFor(slot, true)
+			if err != nil {
+				return nil, err
+			}
+			buf = fr.buf
+		}
+		next := binary.LittleEndian.Uint64(buf)
 		if err := s.checkNext(slot, next); err != nil {
 			return nil, err
 		}
-		n := int(binary.LittleEndian.Uint32(fr.buf[8:]))
+		n := int(binary.LittleEndian.Uint32(buf[8:]))
 		if n < 0 || n > s.payload() {
 			return nil, fmt.Errorf("%w: fragment length %d in slot %d", ErrCorrupt, n, slot)
 		}
-		out = append(out, fr.buf[slotHeaderSize:slotHeaderSize+n]...)
+		out = append(out, buf[slotHeaderSize:slotHeaderSize+n]...)
 		slot = next
 	}
 	return out, nil
+}
+
+// maxReadRun caps the slots covered by one coalesced ReadAt (256 KiB at
+// the default slot size): long enough to amortise the syscall, short
+// enough to keep the run buffer off the large-allocation path.
+const maxReadRun = 64
+
+// resident reports whether slot already has a pooled frame.
+func (s *FileStore) resident(slot uint64) bool {
+	sh := &s.shards[slot%poolShards]
+	sh.mu.Lock()
+	_, ok := sh.frames[slot]
+	sh.mu.Unlock()
+	return ok
+}
+
+// admitSlotBuf admits a frame for slot holding buf's contents, unless a
+// frame raced in meanwhile (the resident frame may be dirty and must not
+// be clobbered by a stale disk image). Shared store lock held.
+func (s *FileStore) admitSlotBuf(slot uint64, buf []byte) error {
+	sh := &s.shards[slot%poolShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.frames[slot]; ok {
+		return nil
+	}
+	fr := &frame{slot: slot, buf: make([]byte, s.slotSize)}
+	copy(fr.buf, buf)
+	return s.admitLocked(sh, fr)
+}
+
+// warmSlots loads the non-resident slots of the (sorted, deduplicated)
+// list into the buffer pool, coalescing runs of consecutive slots into
+// single ReadAt calls — this is where a batched fetch of N sibling pages
+// becomes one or two physical reads instead of N. Returns the number of
+// slots actually loaded. Shared store lock held.
+func (s *FileStore) warmSlots(slots []uint64) (int, error) {
+	loaded := 0
+	for i := 0; i < len(slots); {
+		// Grow a run of consecutive, non-resident, in-range slots.
+		j := i
+		for j < len(slots) && j-i < maxReadRun &&
+			slots[j] == slots[i]+uint64(j-i) &&
+			slots[j] < s.nextSlot && !s.resident(slots[j]) {
+			j++
+		}
+		if j == i {
+			i++ // resident or out of range; the demand path handles it
+			continue
+		}
+		n := j - i
+		buf := make([]byte, n*s.slotSize)
+		if _, err := s.f.ReadAt(buf, int64(slots[i])*int64(s.slotSize)); err != nil {
+			return loaded, fmt.Errorf("storage: read slots %d..%d: %w", slots[i], slots[j-1], err)
+		}
+		atomic.AddUint64(&s.stats.SlotReads, 1)
+		for k := 0; k < n; k++ {
+			if err := s.admitSlotBuf(slots[i+k], buf[k*s.slotSize:(k+1)*s.slotSize]); err != nil {
+				return loaded, err
+			}
+			loaded++
+		}
+		i = j
+	}
+	return loaded, nil
+}
+
+// scanRun holds the slot images one batched read fetched through
+// coalesced ReadAt calls, bypassing buffer-pool admission. A scan
+// touches each of its slots exactly once, so admitting them would evict
+// the point-query working set page by page and give nothing back; the
+// run buffers are dropped when the batch read returns. slots is sorted
+// and parallel to bufs.
+type scanRun struct {
+	slots []uint64
+	bufs  [][]byte
+}
+
+// lookup returns the run image of slot, or nil when the slot was
+// resident (its pooled frame — possibly dirty — must win) or out of the
+// batch.
+func (r *scanRun) lookup(slot uint64) []byte {
+	i := sort.Search(len(r.slots), func(i int) bool { return r.slots[i] >= slot })
+	if i < len(r.slots) && r.slots[i] == slot {
+		return r.bufs[i]
+	}
+	return nil
+}
+
+// readScanRuns reads the non-resident slots of the (sorted, deduplicated)
+// list into run buffers, coalescing consecutive slots into single ReadAt
+// calls — this is where a batched fetch of N sibling pages becomes one or
+// two physical reads instead of N. Shared store lock held.
+func (s *FileStore) readScanRuns(slots []uint64, sr *scanRun) error {
+	for i := 0; i < len(slots); {
+		// Grow a run of consecutive, non-resident, in-range slots.
+		j := i
+		for j < len(slots) && j-i < maxReadRun &&
+			slots[j] == slots[i]+uint64(j-i) &&
+			slots[j] < s.nextSlot && !s.resident(slots[j]) {
+			j++
+		}
+		if j == i {
+			i++ // resident or out of range; the pool path serves it
+			continue
+		}
+		n := j - i
+		buf := make([]byte, n*s.slotSize)
+		if _, err := s.f.ReadAt(buf, int64(slots[i])*int64(s.slotSize)); err != nil {
+			return fmt.Errorf("storage: read slots %d..%d: %w", slots[i], slots[j-1], err)
+		}
+		atomic.AddUint64(&s.stats.SlotReads, 1)
+		for k := 0; k < n; k++ {
+			sr.slots = append(sr.slots, slots[i+k])
+			sr.bufs = append(sr.bufs, buf[k*s.slotSize:(k+1)*s.slotSize])
+		}
+		i = j
+	}
+	return nil
+}
+
+// sortedHeadSlots returns the head slots of ids, sorted and deduplicated,
+// for warmSlots and readScanRuns.
+func sortedHeadSlots(ids []page.ID) []uint64 {
+	slots := make([]uint64, 0, len(ids))
+	for _, id := range ids {
+		slots = append(slots, uint64(id))
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	out := slots[:0]
+	for i, sl := range slots {
+		if i == 0 || sl != out[len(out)-1] {
+			out = append(out, sl)
+		}
+	}
+	return out
+}
+
+// ReadNodes implements BatchReader: one shared-lock acquisition for the
+// whole batch, with the head slots of all requested nodes read first
+// through readScanRuns so that physically adjacent siblings — the common
+// layout after a z-ordered load — arrive in coalesced multi-slot reads.
+// The run images are served directly and never admitted to the buffer
+// pool (scan resistance: a batch-read slot is touched once, and pooling
+// it would only evict the point-query working set); already-resident
+// slots and chain tails beyond the head go through the pool as usual.
+func (s *FileStore) ReadNodes(ids []page.ID) ([][]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.usable(); err != nil {
+		return nil, err
+	}
+	atomic.AddUint64(&s.stats.BatchReads, 1)
+	var sr scanRun
+	if len(ids) > 1 {
+		if err := s.readScanRuns(sortedHeadSlots(ids), &sr); err != nil {
+			return nil, err
+		}
+	}
+	var peek func(uint64) []byte
+	if len(sr.slots) > 0 {
+		peek = sr.lookup
+	}
+	out := make([][]byte, len(ids))
+	for i, id := range ids {
+		blob, err := s.readNodeVia(id, peek)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = blob
+	}
+	return out, nil
+}
+
+// prefetchSlots caps the in-flight Prefetch goroutines; hints beyond the
+// cap are dropped — a hint that has to queue is a hint that arrived too
+// late to help.
+const maxPrefetchInflight = 4
+
+// Prefetch implements Prefetcher: it warms the buffer pool with the head
+// slots of ids on a background goroutine and returns immediately. Errors
+// are swallowed (the demand path will surface them) and hints are dropped
+// when too many are already in flight or the store is closed.
+func (s *FileStore) Prefetch(ids []page.ID) {
+	if len(ids) == 0 {
+		return
+	}
+	if s.prefetchInflight.Add(1) > maxPrefetchInflight {
+		s.prefetchInflight.Add(-1)
+		return
+	}
+	atomic.AddUint64(&s.stats.Prefetches, uint64(len(ids)))
+	slots := sortedHeadSlots(ids)
+	go func() {
+		defer s.prefetchInflight.Add(-1)
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		if s.usable() != nil {
+			return
+		}
+		loaded, _ := s.warmSlots(slots)
+		atomic.AddUint64(&s.stats.PrefetchedSlots, uint64(loaded))
+	}()
 }
 
 // WriteNode implements Store. It reuses the existing chain, growing or

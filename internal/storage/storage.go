@@ -36,6 +36,26 @@ type Store interface {
 	Close() error
 }
 
+// BatchReader is the batched read seam of the range-query engine. Both
+// stores in this package implement it; callers discover it by type
+// assertion so that wrapping stores (fault injectors, future remotes)
+// remain valid Stores without it — the caller falls back to per-node
+// ReadNode calls.
+type BatchReader interface {
+	// ReadNodes returns the blobs of ids, in order, under one shared-lock
+	// acquisition. It fails on the first unreadable node.
+	ReadNodes(ids []page.ID) ([][]byte, error)
+}
+
+// Prefetcher is the asynchronous warm-up seam. Prefetch is a hint: it
+// returns immediately, loads the named pages into whatever cache the
+// store keeps on a best-effort basis, and is never required for
+// correctness — errors are swallowed, hints may be dropped under load,
+// and a closed store ignores them.
+type Prefetcher interface {
+	Prefetch(ids []page.ID)
+}
+
 // Stats counts store activity. SlotReads/SlotWrites are physical I/O
 // operations; NodeReads/NodeWrites are logical accesses.
 type Stats struct {
@@ -50,6 +70,15 @@ type Stats struct {
 	// Evictions counts buffer-pool frames dropped to admit another (a
 	// write-back when the victim was dirty). Always 0 for MemStore.
 	Evictions uint64
+	// BatchReads counts ReadNodes calls (each also counts one NodeRead
+	// per node it returns).
+	BatchReads uint64
+	// Prefetches counts pages requested through Prefetch hints;
+	// PrefetchedSlots counts slots those hints actually loaded into the
+	// buffer pool (already-resident slots are not re-loaded). Always 0
+	// for MemStore, whose Prefetch is a no-op.
+	Prefetches      uint64
+	PrefetchedSlots uint64
 	// FreeSlots is the current free-list length — a gauge, not a counter.
 	// Always 0 for MemStore, which has no free list.
 	FreeSlots int64
@@ -59,16 +88,19 @@ type Stats struct {
 // is a gauge and keeps its end-of-interval value.
 func (s Stats) Sub(t Stats) Stats {
 	return Stats{
-		Allocs:      s.Allocs - t.Allocs,
-		Frees:       s.Frees - t.Frees,
-		NodeReads:   s.NodeReads - t.NodeReads,
-		NodeWrites:  s.NodeWrites - t.NodeWrites,
-		SlotReads:   s.SlotReads - t.SlotReads,
-		SlotWrites:  s.SlotWrites - t.SlotWrites,
-		CacheHits:   s.CacheHits - t.CacheHits,
-		CacheMisses: s.CacheMisses - t.CacheMisses,
-		Evictions:   s.Evictions - t.Evictions,
-		FreeSlots:   s.FreeSlots,
+		Allocs:          s.Allocs - t.Allocs,
+		Frees:           s.Frees - t.Frees,
+		NodeReads:       s.NodeReads - t.NodeReads,
+		NodeWrites:      s.NodeWrites - t.NodeWrites,
+		SlotReads:       s.SlotReads - t.SlotReads,
+		SlotWrites:      s.SlotWrites - t.SlotWrites,
+		CacheHits:       s.CacheHits - t.CacheHits,
+		CacheMisses:     s.CacheMisses - t.CacheMisses,
+		Evictions:       s.Evictions - t.Evictions,
+		BatchReads:      s.BatchReads - t.BatchReads,
+		Prefetches:      s.Prefetches - t.Prefetches,
+		PrefetchedSlots: s.PrefetchedSlots - t.PrefetchedSlots,
+		FreeSlots:       s.FreeSlots,
 	}
 }
 
@@ -113,6 +145,30 @@ func (m *MemStore) ReadNode(id page.ID) ([]byte, error) {
 	return out, nil
 }
 
+// ReadNodes implements BatchReader: all reads happen under one shared
+// lock acquisition.
+func (m *MemStore) ReadNodes(ids []page.ID) ([][]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	atomic.AddUint64(&m.stats.BatchReads, 1)
+	out := make([][]byte, len(ids))
+	for i, id := range ids {
+		b, ok := m.blobs[id]
+		if !ok {
+			return nil, fmt.Errorf("storage: read of unallocated page %d", id)
+		}
+		atomic.AddUint64(&m.stats.NodeReads, 1)
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		out[i] = cp
+	}
+	return out, nil
+}
+
+// Prefetch implements Prefetcher. MemStore has nothing to warm — every
+// read is a map lookup — so the hint is dropped.
+func (m *MemStore) Prefetch([]page.ID) {}
+
 // WriteNode implements Store.
 func (m *MemStore) WriteNode(id page.ID, blob []byte) error {
 	m.mu.Lock()
@@ -149,16 +205,19 @@ func (m *MemStore) Stats() Stats {
 // loadStats assembles a snapshot of atomically-updated counters.
 func loadStats(s *Stats) Stats {
 	return Stats{
-		Allocs:      atomic.LoadUint64(&s.Allocs),
-		Frees:       atomic.LoadUint64(&s.Frees),
-		NodeReads:   atomic.LoadUint64(&s.NodeReads),
-		NodeWrites:  atomic.LoadUint64(&s.NodeWrites),
-		SlotReads:   atomic.LoadUint64(&s.SlotReads),
-		SlotWrites:  atomic.LoadUint64(&s.SlotWrites),
-		CacheHits:   atomic.LoadUint64(&s.CacheHits),
-		CacheMisses: atomic.LoadUint64(&s.CacheMisses),
-		Evictions:   atomic.LoadUint64(&s.Evictions),
-		FreeSlots:   atomic.LoadInt64(&s.FreeSlots),
+		Allocs:          atomic.LoadUint64(&s.Allocs),
+		Frees:           atomic.LoadUint64(&s.Frees),
+		NodeReads:       atomic.LoadUint64(&s.NodeReads),
+		NodeWrites:      atomic.LoadUint64(&s.NodeWrites),
+		SlotReads:       atomic.LoadUint64(&s.SlotReads),
+		SlotWrites:      atomic.LoadUint64(&s.SlotWrites),
+		CacheHits:       atomic.LoadUint64(&s.CacheHits),
+		CacheMisses:     atomic.LoadUint64(&s.CacheMisses),
+		Evictions:       atomic.LoadUint64(&s.Evictions),
+		BatchReads:      atomic.LoadUint64(&s.BatchReads),
+		Prefetches:      atomic.LoadUint64(&s.Prefetches),
+		PrefetchedSlots: atomic.LoadUint64(&s.PrefetchedSlots),
+		FreeSlots:       atomic.LoadInt64(&s.FreeSlots),
 	}
 }
 
