@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race torture fuzz bench bench-write bench-range obs docslint
+.PHONY: verify race torture fuzz fuzz-restore bench bench-write bench-range bench-snapshot backup obs docslint
 
 # The standard verification gate: static checks, build, full test suite
 # (including the runnable godoc examples), the documentation lint (every
@@ -11,13 +11,15 @@ GO ?= go
 # path (TestGroupCommit* in internal/wal, TestConcurrentBatch* in
 # internal/bvtree), the instrumentation path (TestConcurrentMetrics),
 # the histogram core (TestConcurrentHistogram in internal/obs) and the
-# parallel range-query engine (TestParallelRange* in internal/bvtree).
+# parallel range-query engine (TestParallelRange* in internal/bvtree)
+# and the MVCC snapshot/backup differential tests (TestSnapshot* in
+# internal/bvtree).
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) run ./cmd/docslint
-	$(GO) test -race -run 'TestConcurrent|TestGroupCommit|TestParallelRange' ./internal/bvtree ./internal/storage ./internal/wal ./internal/obs
+	$(GO) test -race -run 'TestConcurrent|TestGroupCommit|TestParallelRange|TestSnapshot' ./internal/bvtree ./internal/storage ./internal/wal ./internal/obs
 
 # Full suite under the race detector, including the reader/writer stress
 # tests (TestConcurrent*) added with the parallel read path.
@@ -34,6 +36,12 @@ torture:
 fuzz:
 	$(GO) test -fuzz=FuzzReplay -fuzztime=30s ./internal/wal
 
+# Coverage-guided fuzzing of backup-stream restore: arbitrary bytes must
+# either restore to a tree passing the full invariant check or fail with
+# ErrCorrupt — never panic, never yield a silently short tree.
+fuzz-restore:
+	$(GO) test -run '^$$' -fuzz=FuzzRestore -fuzztime=30s ./internal/bvtree
+
 bench:
 	$(GO) test -bench . -benchmem ./...
 
@@ -49,6 +57,19 @@ bench-write:
 # GOMAXPROCS are flagged [saturated]. See DESIGN.md §11.
 bench-range:
 	$(GO) run ./cmd/bvbench -rangequery
+
+# Online backup and point-in-time restore, exercised end to end: the
+# snapshot differential tests, the backup/restore round-trip and
+# crash-matrix sweeps, and the PITR tests.
+backup:
+	$(GO) test -run 'TestSnapshot|TestBackup|TestRestore|TestDurableLSN' -v ./internal/bvtree
+
+# Online-backup writer-stall cost: bursty durable ingest alone, under
+# continuous SnapshotBackup streams, and under alternating checkpoints
+# and backups (insert p50/p95/p99 per phase); regenerates
+# BENCH_snapshot.json. See DESIGN.md §12.
+bench-snapshot:
+	$(GO) run ./cmd/bvbench -snapshot -writers 4 -writer-ops 3000
 
 # Observability overhead: per-op cost of Lookup/Insert with metrics and
 # tracing off/on (budget: ≤5% per enabled op, 0 when off); regenerates

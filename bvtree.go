@@ -31,6 +31,8 @@
 package bvtree
 
 import (
+	"io"
+
 	ibv "bvtree/internal/bvtree"
 	"bvtree/internal/geometry"
 	"bvtree/internal/obs"
@@ -45,10 +47,13 @@ type Point = geometry.Point
 type Rect = geometry.Rect
 
 // Tree is a BV-tree. It is safe for concurrent use under a
-// reader–writer contract: read-only operations (Lookup, RangeQuery,
-// Nearest, Stats, …) run in parallel with each other, while mutations
-// (Insert, Delete, Maintain, Flush) are exclusive. See DESIGN.md §8 for
-// the full concurrency model.
+// reader–writer contract with multi-version reads: point reads (Lookup,
+// Stats, …) share a lock, traversal reads (RangeQuery, Nearest, Scan,
+// Count, …) pin an epoch and run lock-free against an immutable
+// copy-on-write view — a slow visitor never blocks a writer — and
+// mutations (Insert, Delete, Maintain, Flush) are exclusive. Snapshot
+// exposes the same pinned views explicitly. See DESIGN.md §8 and §12
+// for the full concurrency model.
 type Tree = ibv.Tree
 
 // Options configures a Tree; see the field documentation in the
@@ -105,6 +110,18 @@ type Neighbor = ibv.Neighbor
 
 // Store persists node blobs for paged trees; see NewFileStore.
 type Store = storage.Store
+
+// Snapshot is a pinned, immutable view of a Tree, obtained with
+// (*Tree).Snapshot: every read through it observes exactly the state
+// the tree had when the snapshot was taken, while writers keep
+// committing (they copy superseded pages on demand). Release it when
+// done so retained page versions can be reclaimed.
+type Snapshot = ibv.Snapshot
+
+// ErrCorrupt is returned by RestoreSnapshot and RestoreToLSN when a
+// backup stream is damaged — truncated, bit-flipped, or structurally
+// inconsistent. Classify with errors.Is.
+var ErrCorrupt = ibv.ErrCorrupt
 
 // FileStoreOptions configures a file-backed store.
 type FileStoreOptions = storage.FileStoreOptions
@@ -173,6 +190,24 @@ func OpenDurable(st Store, walPath string, cacheNodes int) (*DurableTree, error)
 func OpenDurableOpts(st Store, walPath string, cacheNodes int, dopt DurableOptions) (*DurableTree, error) {
 	return ibv.OpenDurableOpts(st, walPath, cacheNodes, dopt)
 }
+
+// RestoreSnapshot rebuilds a tree from a backup stream (written by
+// (*Tree).SnapshotBackup or (*DurableTree).SnapshotBackup) into st,
+// which must be a freshly created store. Damaged streams fail with
+// ErrCorrupt — a restore never silently yields a shorter tree.
+func RestoreSnapshot(st Store, r io.Reader) (*Tree, error) { return ibv.RestoreSnapshot(st, r) }
+
+// RestoreToLSN is point-in-time restore: it rebuilds the backup into st
+// and replays records from the write-ahead log l on top, stopping once
+// the state is exactly "every operation through upToLSN".
+func RestoreToLSN(st Store, backup io.Reader, l *wal.Log, upToLSN uint64) (*Tree, error) {
+	return ibv.RestoreToLSN(st, backup, l, upToLSN)
+}
+
+// OpenWAL opens (or creates) a write-ahead log for use with
+// RestoreToLSN. DurableTree manages its own log; this is only needed to
+// hand an existing log file to a restore.
+func OpenWAL(path string) (*wal.Log, error) { return wal.Open(path) }
 
 // NewFileStore creates a file-backed page store at path (truncating any
 // existing file), suitable for NewPaged.

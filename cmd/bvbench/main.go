@@ -7,6 +7,7 @@
 //	bvbench -exp all -scale 2
 //	bvbench -concurrency [-readers 1,2,4,8] [-duration 2s] [-json BENCH_concurrency.json]
 //	bvbench -writepath [-writers 8] [-writer-ops 2000] [-json BENCH_writepath.json]
+//	bvbench -snapshot [-writers 4] [-writer-ops 4000] [-json BENCH_snapshot.json]
 //	bvbench -rangequery [-range-workers 1,2,4,8] [-json BENCH_rangequery.json]
 //	bvbench -obs [-json BENCH_obs.json]
 //	bvbench -debug-addr localhost:6060 [-hold 10m]
@@ -19,7 +20,10 @@
 // reader count exceeds the parallelism headroom (GOMAXPROCS < 2×readers)
 // are annotated as saturated. The -writepath mode measures durable insert
 // throughput under sync-per-op, group-commit and batched disciplines
-// against a file-backed store. The -rangequery mode compares the serial
+// against a file-backed store. The -snapshot mode prices online backups:
+// bursty durable ingest runs alone, under continuous SnapshotBackup
+// streams, and under alternating checkpoints and backups, reporting
+// writer-stall percentiles per phase to BENCH_snapshot.json. The -rangequery mode compares the serial
 // range walk against the parallel range engine across a selectivity
 // sweep on a file-backed 500k-point tree and writes
 // BENCH_rangequery.json. The -obs mode prices the observability
@@ -49,8 +53,9 @@ func main() {
 		readers   = flag.String("readers", "1,2,4,8", "comma-separated reader goroutine counts for -concurrency")
 		duration  = flag.Duration("duration", 2*time.Second, "measurement window per reader count for -concurrency")
 		writepath = flag.Bool("writepath", false, "run the durable write-throughput benchmark")
-		writers   = flag.Int("writers", 8, "concurrent writer goroutines for -writepath")
-		writerOps = flag.Int("writer-ops", 2000, "inserts per writer for -writepath")
+		snapBench = flag.Bool("snapshot", false, "run the online-backup writer-stall benchmark")
+		writers   = flag.Int("writers", 8, "concurrent writer goroutines for -writepath / -snapshot")
+		writerOps = flag.Int("writer-ops", 2000, "inserts per writer for -writepath / -snapshot")
 		rangeQ    = flag.Bool("rangequery", false, "run the parallel range-query benchmark")
 		rangeWk   = flag.String("range-workers", "1,2,4,8", "comma-separated worker counts for -rangequery (1 = serial walk)")
 		obsBench  = flag.Bool("obs", false, "run the observability-overhead benchmark")
@@ -90,6 +95,16 @@ func main() {
 			os.Exit(1)
 		}
 		writeJSON(rep, *jsonPath, "BENCH_rangequery.json")
+		return
+	}
+
+	if *snapBench {
+		rep, err := bench.RunSnapshot(os.Stdout, *writers, *writerOps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bvbench: snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		writeJSON(rep, *jsonPath, "BENCH_snapshot.json")
 		return
 	}
 

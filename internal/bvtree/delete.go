@@ -51,7 +51,7 @@ func (t *Tree) deleteLocked(p geometry.Point, payload uint64) (bool, error) {
 	ctx := newOpCtx()
 
 	if t.rootLevel == 0 {
-		dp, err := t.fetchData(t.root)
+		dp, err := t.wData(t.root)
 		if err != nil {
 			return false, err
 		}
@@ -66,7 +66,7 @@ func (t *Tree) deleteLocked(p geometry.Point, payload uint64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	dp, err := t.fetchData(d.dataID)
+	dp, err := t.wData(d.dataID)
 	if err != nil {
 		putDescent(d)
 		return false, err
@@ -126,7 +126,9 @@ func (t *Tree) mergeUnderfullData(ctx *opCtx, d *descent, dp *page.DataPage) err
 	if d.dataSrcID == page.Nil {
 		return nil // root data page: nothing to merge with
 	}
-	node, err := t.fetchIndex(d.dataSrcID)
+	// Fetched through the write choke point: a successful dissolve below
+	// removes an entry from this node in place.
+	node, err := t.wIndex(d.dataSrcID)
 	if err != nil {
 		return err
 	}
@@ -239,7 +241,7 @@ func (t *Tree) dissolveRegion(victimID, nodeID page.ID, node *page.IndexNode) (b
 	if err := t.removeEntry(nodeID, node, victimID); err != nil {
 		return false, err
 	}
-	if err := t.st.Free(victimID); err != nil {
+	if err := t.freePage(victimID); err != nil {
 		return false, err
 	}
 	t.stats.Merges.Inc()
@@ -255,7 +257,7 @@ func (t *Tree) dissolveRegion(victimID, nodeID page.ID, node *page.IndexNode) (b
 		}
 		dataID, dataSrcID := dd.dataID, dd.dataSrcID
 		putDescent(dd)
-		tp, err := t.fetchData(dataID)
+		tp, err := t.wData(dataID)
 		if err != nil {
 			return true, err
 		}
@@ -273,7 +275,8 @@ func (t *Tree) dissolveRegion(victimID, nodeID page.ID, node *page.IndexNode) (b
 	return true, nil
 }
 
-// removeEntry deletes the entry whose child is childID from node n.
+// removeEntry deletes the entry whose child is childID from node n,
+// which must be writable (freshly allocated or obtained through wIndex).
 func (t *Tree) removeEntry(id page.ID, n *page.IndexNode, childID page.ID) error {
 	for i := range n.Entries {
 		if n.Entries[i].Child == childID {
@@ -298,7 +301,7 @@ func (t *Tree) contractRoot() error {
 			return nil
 		}
 		child := n.Entries[0]
-		if err := t.st.Free(t.root); err != nil {
+		if err := t.freePage(t.root); err != nil {
 			return err
 		}
 		t.root = child.Child

@@ -3,6 +3,7 @@ package bvtree
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -55,6 +56,14 @@ type DurableTree struct {
 	mu  sync.Mutex // serialises log enqueue + apply; see the protocol above
 	log *wal.Log
 	gc  *wal.GroupCommitter
+
+	// lsn is the log sequence number of the last operation enqueued (and
+	// applied — the two happen in one d.mu critical section, so the tree
+	// state under d.mu is exactly the state after lsn operations).
+	// Guarded by d.mu. Checkpoints fold it into the log preamble
+	// (ResetAt), so it survives restarts: on open it is reconstructed as
+	// BaseLSN plus the number of records replayed.
+	lsn uint64
 
 	// wm holds the WAL-layer histograms when metrics are enabled (via
 	// Options.Metrics, DurableOptions.Metrics or EnableMetrics). Guarded
@@ -118,6 +127,8 @@ func NewDurableLogOpts(st storage.Store, l *wal.Log, opt Options, dopt DurableOp
 		return nil, err
 	}
 	d := &DurableTree{Tree: tr, log: l, gc: wal.NewGroupCommitter(l, dopt.Group)}
+	d.lsn = l.BaseLSN()
+	tr.setBaseLSN(d.lsn)
 	if opt.Metrics {
 		d.wm = &obs.WALMetrics{}
 		l.SetMetrics(d.wm)
@@ -158,15 +169,26 @@ func OpenDurableLogOpts(st storage.Store, l *wal.Log, cacheNodes int, dopt Durab
 	d := &DurableTree{Tree: tr, log: l}
 	switch {
 	case l.Epoch() == tr.Epoch():
-		if err := l.Replay(func(rec []byte) error { return d.apply(rec) }); err != nil {
+		d.lsn = l.BaseLSN()
+		if err := l.Replay(func(rec []byte) error {
+			d.lsn++
+			return d.apply(rec)
+		}); err != nil {
 			l.Close()
 			return nil, fmt.Errorf("bvtree: wal replay: %w", err)
 		}
 	case l.Epoch() < tr.Epoch():
 		// Every record in the log predates the store's checkpoint: the
 		// crash hit between the checkpoint flush and the log reset.
-		// Replaying would double-apply; discard instead.
-		if err := l.Reset(tr.Epoch()); err != nil {
+		// Replaying would double-apply; discard instead — but first count
+		// the records, so the LSN stream stays continuous across the
+		// completed-but-unreset checkpoint.
+		d.lsn = l.BaseLSN()
+		if err := l.Replay(func([]byte) error { d.lsn++; return nil }); err != nil {
+			l.Close()
+			return nil, fmt.Errorf("bvtree: wal scan: %w", err)
+		}
+		if err := l.ResetAt(tr.Epoch(), d.lsn); err != nil {
 			l.Close()
 			return nil, err
 		}
@@ -174,6 +196,7 @@ func OpenDurableLogOpts(st storage.Store, l *wal.Log, cacheNodes int, dopt Durab
 		l.Close()
 		return nil, fmt.Errorf("bvtree: %w: wal epoch %d ahead of store checkpoint epoch %d", wal.ErrCorrupt, l.Epoch(), tr.Epoch())
 	}
+	tr.setBaseLSN(d.lsn)
 	d.gc = wal.NewGroupCommitter(l, dopt.Group)
 	if dopt.Metrics {
 		tr.EnableMetrics()
@@ -213,7 +236,13 @@ func encodeOp(op byte, p geometry.Point, payload uint64) *[]byte {
 
 func putRec(bp *[]byte) { recPool.Put(bp) }
 
-func (d *DurableTree) apply(rec []byte) error {
+func (d *DurableTree) apply(rec []byte) error { return applyRecord(d.Tree, rec) }
+
+// applyRecord decodes one logical WAL record and applies it to t. It is
+// shared by crash recovery (OpenDurable*) and point-in-time restore
+// (RestoreToLSN), which replays a backup's trailing log onto a plain
+// Tree.
+func applyRecord(t *Tree, rec []byte) error {
 	if len(rec) < 2 {
 		return fmt.Errorf("bvtree: short wal record")
 	}
@@ -228,9 +257,9 @@ func (d *DurableTree) apply(rec []byte) error {
 	payload := binary.LittleEndian.Uint64(rec[2+8*dims:])
 	switch rec[0] {
 	case opInsert:
-		return d.Tree.Insert(p, payload)
+		return t.Insert(p, payload)
 	case opDelete:
-		_, err := d.Tree.Delete(p, payload)
+		_, err := t.Delete(p, payload)
 		return err
 	default:
 		return fmt.Errorf("bvtree: unknown wal op %d", rec[0])
@@ -249,6 +278,7 @@ func (d *DurableTree) commitOne(bp *[]byte, apply func() error) error {
 		putRec(bp)
 		return err
 	}
+	d.lsn++
 	aerr := apply()
 	d.kickIfLogFull()
 	d.mu.Unlock()
@@ -335,6 +365,7 @@ func (d *DurableTree) ApplyBatch(ops []BatchOp) error {
 		release()
 		return err
 	}
+	d.lsn += uint64(len(recs))
 	aerr := d.Tree.ApplyBatch(ops)
 	d.kickIfLogFull()
 	d.mu.Unlock()
@@ -376,7 +407,7 @@ func (d *DurableTree) checkpointLocked() error {
 	if err := d.Tree.Flush(); err != nil {
 		return err
 	}
-	if err := d.log.Reset(d.Tree.Epoch()); err != nil {
+	if err := d.log.ResetAt(d.Tree.Epoch(), d.lsn); err != nil {
 		return err
 	}
 	if wm != nil {
@@ -422,6 +453,40 @@ func (d *DurableTree) LogSize() int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.log.Size()
+}
+
+// LSN returns the log sequence number of the last committed operation —
+// the total count of logged operations over the tree's whole history,
+// across checkpoints and restarts. A backup taken now captures exactly
+// this LSN, and RestoreToLSN can replay a WAL onto it up to any later
+// number.
+func (d *DurableTree) LSN() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lsn
+}
+
+// SnapshotBackup streams a consistent online backup of the tree to w and
+// returns the LSN it captures. The snapshot is pinned under the write
+// order lock — so the backup state is exactly "every operation through
+// LSN n, nothing after" — but streaming runs on an MVCC snapshot after
+// the lock is released: concurrent writers commit freely while the
+// backup's pinned epoch streams out. See Tree.SnapshotBackup for the
+// stream format.
+func (d *DurableTree) SnapshotBackup(w io.Writer) (uint64, error) {
+	d.mu.Lock()
+	s, err := d.Tree.Snapshot()
+	if err != nil {
+		d.mu.Unlock()
+		return 0, err
+	}
+	lsn := d.lsn
+	d.mu.Unlock()
+	defer s.Release()
+	if err := s.writeBackup(w, lsn); err != nil {
+		return 0, err
+	}
+	return lsn, nil
 }
 
 // GroupStats reports the group committer's running totals: records

@@ -55,7 +55,7 @@ func (t *Tree) insertLocked(p geometry.Point, payload uint64) error {
 	ctx := newOpCtx()
 
 	if t.rootLevel == 0 {
-		dp, err := t.fetchData(t.root)
+		dp, err := t.wData(t.root)
 		if err != nil {
 			return err
 		}
@@ -76,7 +76,7 @@ func (t *Tree) insertLocked(p geometry.Point, payload uint64) error {
 	}
 	dataID, dataSrcID := d.dataID, d.dataSrcID
 	putDescent(d)
-	dp, err := t.fetchData(dataID)
+	dp, err := t.wData(dataID)
 	if err != nil {
 		return err
 	}
@@ -129,7 +129,7 @@ func (t *Tree) descendPointCtx(ctx *opCtx, target region.BitString) (*descent, e
 // guard position — and the new inner entry is placed by a single
 // placement descent.
 func (t *Tree) splitDataPage(ctx *opCtx, dataID, srcNodeID page.ID) error {
-	dp, err := t.fetchData(dataID)
+	dp, err := t.wData(dataID)
 	if err != nil {
 		return err
 	}
@@ -273,7 +273,7 @@ func (t *Tree) placeEntry(ctx *opCtx, startID page.ID, e page.Entry) (int, error
 	var guards []*guardRef
 	for {
 		if n.Level == e.Level+1 || needsGuard(n, e) {
-			return n.Level, t.insertIntoNode(ctx, cur, n, e)
+			return n.Level, t.insertIntoNode(ctx, cur, e)
 		}
 		if n.Level <= e.Level {
 			return 0, fmt.Errorf("bvtree: placement of level-%d entry reached index level %d", e.Level, n.Level)
@@ -417,9 +417,14 @@ func shielded(n *page.IndexNode, e page.Entry, boundary region.BitString) bool {
 	return false
 }
 
-// insertIntoNode appends e to node n (id) and resolves overflow by
-// splitting the node.
-func (t *Tree) insertIntoNode(ctx *opCtx, id page.ID, n *page.IndexNode, e page.Entry) error {
+// insertIntoNode appends e to node id and resolves overflow by
+// splitting the node. The node is fetched through the copy-on-write
+// choke point so the append cannot disturb a pinned reader's view.
+func (t *Tree) insertIntoNode(ctx *opCtx, id page.ID, e page.Entry) error {
+	n, err := t.wIndex(id)
+	if err != nil {
+		return err
+	}
 	n.Entries = append(n.Entries, e)
 	if err := t.st.SaveIndex(id, n); err != nil {
 		return err
@@ -435,7 +440,8 @@ func (t *Tree) insertIntoNode(ctx *opCtx, id page.ID, n *page.IndexNode, e page.
 // guarantee; every entry whose key is a proper prefix of the chosen
 // boundary — including already-promoted guards, per the generalised
 // promotion rule of §2 — is promoted to the physical parent alongside the
-// new inner entry.
+// new inner entry. n must be writable: either freshly allocated or
+// obtained through wIndex, never a plain fetch.
 func (t *Tree) splitIndexNode(ctx *opCtx, id page.ID, n *page.IndexNode) error {
 	q, ok := chooseIndexSplit(n)
 	if !ok {
@@ -532,7 +538,7 @@ func (t *Tree) splitIndexNode(ctx *opCtx, id page.ID, n *page.IndexNode) error {
 		return nil
 	}
 
-	parent, err := t.fetchIndex(parentID)
+	parent, err := t.wIndex(parentID)
 	if err != nil {
 		return err
 	}

@@ -61,7 +61,9 @@ func (t *Tree) Maintain() (int, error) {
 		// chase that cycle forever, so each candidate is attempted once.
 		stale := t.staleGuards(n)
 		for _, g := range stale {
-			n, err = t.fetchIndex(id)
+			// Write fetch: removing the guard below compacts n.Entries in
+			// place, which must not disturb a pinned reader's view.
+			n, err = t.wIndex(id)
 			if err != nil {
 				break
 			}

@@ -31,6 +31,10 @@ func (t *Tree) Metrics() obs.Snapshot {
 		ss := storeSnapshot(t.bst.Stats())
 		s.Store = &ss
 	}
+	if t.mv != nil {
+		ms := t.mv.met.Snapshot()
+		s.MVCC = &ms
+	}
 	return s
 }
 

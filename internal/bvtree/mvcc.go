@@ -1,0 +1,570 @@
+package bvtree
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bvtree/internal/geometry"
+	"bvtree/internal/obs"
+	"bvtree/internal/page"
+	"bvtree/internal/region"
+)
+
+// This file implements the tree's multi-version concurrency control:
+// copy-on-write node mutation against an epoch counter, so that readers
+// can pin an epoch and traverse an immutable tree while writers keep
+// committing, and so that a consistent online backup can stream the
+// pinned state (see backup.go).
+//
+// Protocol. The epoch counter advances on every pin, never on writes:
+// a pin taken under the tree's shared lock observes some epoch p and
+// guarantees that every write that could disturb its view happens at a
+// strictly larger epoch (a writer holds the exclusive lock, so no pin
+// can be created mid-mutation). Before a writer mutates a page that a
+// pin may still need, it captures the current decoded node into that
+// page's version chain — tagged with the current epoch, under mv.mu,
+// strictly before the replacement is published to the node store — and
+// mutates a private clone instead. A pinned reader resolves a page by
+// taking the oldest chain version with epoch > pin; on a chain miss it
+// reads the live store and re-checks the chain, which closes the race
+// with a concurrent first-capture: if the live read returned a
+// post-write node, the capture that preceded its publication is already
+// visible on the chain.
+//
+// Reclamation. Pages superseded or freed while pins are active are
+// retained — version chains keep superseded decoded nodes alive, and
+// the grave list defers storage.Free so page IDs cannot be recycled
+// into a pinned reader's view. On every pin release the state is swept:
+// a version (or grave) tagged with epoch e is retained exactly while a
+// pin p < e is still active, and freed/dropped otherwise. With no pins
+// active both sets are empty — CheckSnapshots verifies exactly that,
+// and the torture/differential tests call it after every drain.
+
+// pageVersion is one superseded decoded node: the state a page had when
+// epoch was captured, immutable from the moment it enters a chain.
+type pageVersion struct {
+	epoch uint64
+	node  interface{} // *page.IndexNode or *page.DataPage
+}
+
+// mvccState is the snapshot machinery of one tree. It has its own
+// mutex, nested strictly inside the tree lock on writer paths and taken
+// bare by pinned readers (which hold no tree lock at all).
+type mvccState struct {
+	mu    sync.Mutex
+	epoch uint64           // advanced on every pin; writes happen "at" the current value
+	pins  map[uint64]int   // pinned epoch -> reference count
+	nPins atomic.Int64     // len-weighted pin count, lock-free writer fast path
+	nOld  atomic.Int64     // chain versions + graves, lock-free reader fast path
+	chain map[page.ID][]pageVersion
+	grave map[page.ID]uint64 // page -> epoch at which its free was deferred
+
+	freeFn func(page.ID) error // executes a deferred free (NodeStore.Free)
+	met    *obs.MVCCMetrics
+}
+
+func newMVCCState(free func(page.ID) error) *mvccState {
+	return &mvccState{
+		pins:   make(map[uint64]int),
+		chain:  make(map[page.ID][]pageVersion),
+		grave:  make(map[page.ID]uint64),
+		freeFn: free,
+		met:    &obs.MVCCMetrics{},
+	}
+}
+
+// pin registers a reader at the current epoch and advances the counter.
+// Must be called under the tree's shared (or exclusive) lock so it
+// cannot interleave with a mutation.
+func (v *mvccState) pin() uint64 {
+	v.mu.Lock()
+	p := v.epoch
+	v.epoch++
+	v.pins[p]++
+	v.mu.Unlock()
+	v.nPins.Add(1)
+	v.met.Pins.Inc()
+	v.met.PinnedEpochs.Add(1)
+	return p
+}
+
+// release drops one reference to pin p and sweeps now-unreachable
+// versions and graves. Safe to call without any tree lock.
+func (v *mvccState) release(p uint64) {
+	v.mu.Lock()
+	if v.pins[p] <= 1 {
+		delete(v.pins, p)
+	} else {
+		v.pins[p]--
+	}
+	v.nPins.Add(-1)
+	v.met.PinnedEpochs.Add(-1)
+	v.sweepLocked()
+	v.mu.Unlock()
+}
+
+// minPinLocked returns the smallest active pinned epoch.
+func (v *mvccState) minPinLocked() (uint64, bool) {
+	var min uint64
+	ok := false
+	for p := range v.pins {
+		if !ok || p < min {
+			min, ok = p, true
+		}
+	}
+	return min, ok
+}
+
+// sweepLocked drops every version and executes every deferred free that
+// no active pin can still reach: an entry tagged with epoch e is needed
+// exactly while some pin p < e remains.
+func (v *mvccState) sweepLocked() {
+	min, havePin := v.minPinLocked()
+	for id, versions := range v.chain {
+		keep := 0
+		if havePin {
+			for keep < len(versions) && versions[keep].epoch <= min {
+				keep++
+			}
+		} else {
+			keep = len(versions)
+		}
+		if keep == 0 {
+			continue
+		}
+		if keep == len(versions) {
+			delete(v.chain, id)
+		} else {
+			v.chain[id] = versions[keep:]
+		}
+		v.nOld.Add(int64(-keep))
+		v.met.Reclaimed.Add(uint64(keep))
+		v.met.Versions.Add(int64(-keep))
+	}
+	for id, e := range v.grave {
+		if havePin && min < e {
+			continue
+		}
+		delete(v.grave, id)
+		v.nOld.Add(-1)
+		// The free runs with mv.mu held; NodeStore.Free only takes cache
+		// shard and store locks, which never nest around mv.mu.
+		if err := v.freeFn(id); err == nil {
+			v.met.ReclaimedFre.Inc()
+		}
+	}
+}
+
+// resolve returns the node that page id held at the time pin was taken,
+// if a writer has superseded it since: the oldest captured version with
+// epoch > pin. The nOld fast path keeps an untouched tree at one atomic
+// load per node fetch.
+func (v *mvccState) resolve(id page.ID, pin uint64) (interface{}, bool) {
+	if v.nOld.Load() == 0 {
+		return nil, false
+	}
+	v.mu.Lock()
+	for _, pv := range v.chain[id] {
+		if pv.epoch > pin {
+			v.mu.Unlock()
+			return pv.node, true
+		}
+	}
+	v.mu.Unlock()
+	return nil, false
+}
+
+// capture decides how a writer may mutate the current decoded node n of
+// page id. It returns (clone, true) when the caller must mutate (and
+// save) the clone because an active pin may still need n; (nil, false)
+// means no pin can observe n and in-place mutation is safe. At most one
+// version per page is captured per epoch: once a page's pre-image for
+// the current epoch is on the chain, later writes in the same epoch
+// mutate the published copy in place (no pin can have been created in
+// between, since pins advance the epoch).
+func (v *mvccState) capture(id page.ID, n interface{}) (interface{}, bool) {
+	if v.nPins.Load() == 0 {
+		return nil, false
+	}
+	v.mu.Lock()
+	if len(v.pins) == 0 {
+		v.mu.Unlock()
+		return nil, false
+	}
+	versions := v.chain[id]
+	if k := len(versions); k > 0 && versions[k-1].epoch == v.epoch {
+		if versions[k-1].node == n {
+			// The captured pre-image is still the live node (its clone was
+			// fetched but never saved): it must stay immutable, so hand out
+			// a fresh clone without re-capturing.
+			v.mu.Unlock()
+			return cloneNode(n), true
+		}
+		// n is this epoch's already-published copy; nothing can pin
+		// between two writes of one epoch, so mutate it in place.
+		v.mu.Unlock()
+		return nil, false
+	}
+	v.chain[id] = append(versions, pageVersion{epoch: v.epoch, node: n})
+	v.nOld.Add(1)
+	v.mu.Unlock()
+	v.met.Captures.Inc()
+	v.met.Versions.Add(1)
+	return cloneNode(n), true
+}
+
+// deferFree parks the free of page id until every pin that might still
+// read it has drained. It reports whether the free was deferred; when
+// no pins are active the caller frees immediately.
+func (v *mvccState) deferFree(id page.ID) (bool, error) {
+	if v.nPins.Load() == 0 {
+		return false, nil
+	}
+	v.mu.Lock()
+	if len(v.pins) == 0 {
+		v.mu.Unlock()
+		return false, nil
+	}
+	if _, dup := v.grave[id]; dup {
+		v.mu.Unlock()
+		v.met.DoubleFrees.Inc()
+		return true, fmt.Errorf("bvtree: double free of page %d detected by epoch reclamation", id)
+	}
+	v.grave[id] = v.epoch
+	v.nOld.Add(1)
+	v.mu.Unlock()
+	v.met.DeferredFree.Inc()
+	return true, nil
+}
+
+func cloneNode(n interface{}) interface{} {
+	switch x := n.(type) {
+	case *page.IndexNode:
+		return x.Clone()
+	case *page.DataPage:
+		return x.Clone()
+	}
+	panic("bvtree: cloneNode of non-node value")
+}
+
+// CheckSnapshots is the leak/double-free invariant checker of epoch
+// reclamation. With no pins active it verifies that every captured
+// version has been reclaimed and every deferred free executed; at any
+// time it verifies that no double free was ever recorded. The torture
+// sweep and the snapshot differential tests call it after draining all
+// readers, so a reclamation bug fails CI deterministically.
+func (t *Tree) CheckSnapshots() error {
+	if t.mv == nil {
+		return nil
+	}
+	v := t.mv
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if n := v.met.DoubleFrees.Load(); n != 0 {
+		return fmt.Errorf("bvtree: snapshot invariant: %d double-freed page(s)", n)
+	}
+	if len(v.pins) != 0 {
+		return nil // drain incomplete: retained state is legitimate
+	}
+	if len(v.chain) != 0 {
+		return fmt.Errorf("bvtree: snapshot invariant: %d page version chain(s) leaked after epoch drain", len(v.chain))
+	}
+	if len(v.grave) != 0 {
+		return fmt.Errorf("bvtree: snapshot invariant: %d deferred free(s) leaked after epoch drain", len(v.grave))
+	}
+	if n := v.nOld.Load(); n != 0 {
+		return fmt.Errorf("bvtree: snapshot invariant: version accounting off by %d", n)
+	}
+	return nil
+}
+
+// --- writer choke points ---
+
+// wIndex fetches index node id for mutation. When pinned readers may
+// still need the current version it is captured and a private clone
+// returned; the caller mutates the result and saves it as usual.
+func (t *Tree) wIndex(id page.ID) (*page.IndexNode, error) {
+	n, err := t.fetchIndex(id)
+	if err != nil || t.mv == nil {
+		return n, err
+	}
+	if c, ok := t.mv.capture(id, n); ok {
+		return c.(*page.IndexNode), nil
+	}
+	return n, nil
+}
+
+// wData is wIndex for data pages.
+func (t *Tree) wData(id page.ID) (*page.DataPage, error) {
+	p, err := t.fetchData(id)
+	if err != nil || t.mv == nil {
+		return p, err
+	}
+	if c, ok := t.mv.capture(id, p); ok {
+		return c.(*page.DataPage), nil
+	}
+	return p, nil
+}
+
+// freePage releases page id, deferring the physical free while pinned
+// readers might still traverse into it (deferral also prevents the
+// store from recycling the ID into a pinned view).
+func (t *Tree) freePage(id page.ID) error {
+	if t.mv != nil {
+		if deferred, err := t.mv.deferFree(id); deferred || err != nil {
+			return err
+		}
+	}
+	return t.st.Free(id)
+}
+
+// --- pinned read views ---
+
+// snapNodes is the NodeStore of a pinned view: reads resolve through
+// the version chains of the pin's epoch and fall back to the live
+// store. It never admits anything to the shared decoded cache (a
+// concurrent writer owns cache coherence) and it rejects mutation.
+type snapNodes struct {
+	ns  NodeStore   // the owner's live node store
+	pn  *pagedNodes // non-nil when the owner is paged
+	mv  *mvccState
+	pin uint64
+}
+
+var errSnapshotReadOnly = errors.New("bvtree: snapshot views are read-only")
+
+func (s *snapNodes) AllocIndex(int, region.BitString) (page.ID, *page.IndexNode, error) {
+	return 0, nil, errSnapshotReadOnly
+}
+func (s *snapNodes) AllocData(region.BitString) (page.ID, *page.DataPage, error) {
+	return 0, nil, errSnapshotReadOnly
+}
+func (s *snapNodes) SaveIndex(page.ID, *page.IndexNode) error { return errSnapshotReadOnly }
+func (s *snapNodes) SaveData(page.ID, *page.DataPage) error   { return errSnapshotReadOnly }
+func (s *snapNodes) Free(page.ID) error                       { return errSnapshotReadOnly }
+
+func (s *snapNodes) Index(id page.ID) (*page.IndexNode, error) {
+	if v, ok := s.mv.resolve(id, s.pin); ok {
+		return asIndex(id, v)
+	}
+	if s.pn != nil {
+		if v, ok := s.pn.cacheGet(id); ok {
+			// Re-check: if the cached node postdates the pin, its
+			// pre-image was chained before it was published.
+			if old, ok2 := s.mv.resolve(id, s.pin); ok2 {
+				return asIndex(id, old)
+			}
+			return asIndex(id, v)
+		}
+		blob, err := s.pn.st.ReadNode(id)
+		if err != nil {
+			return nil, err
+		}
+		if old, ok2 := s.mv.resolve(id, s.pin); ok2 {
+			return asIndex(id, old)
+		}
+		n, err := page.DecodeIndex(blob)
+		if err != nil {
+			return nil, fmt.Errorf("bvtree: decode index page %d: %w", id, err)
+		}
+		return n, nil
+	}
+	n, err := s.ns.Index(id)
+	if old, ok2 := s.mv.resolve(id, s.pin); ok2 {
+		return asIndex(id, old)
+	}
+	return n, err
+}
+
+func (s *snapNodes) Data(id page.ID) (*page.DataPage, error) {
+	if v, ok := s.mv.resolve(id, s.pin); ok {
+		return asData(id, v)
+	}
+	if s.pn != nil {
+		if v, ok := s.pn.cacheGet(id); ok {
+			if old, ok2 := s.mv.resolve(id, s.pin); ok2 {
+				return asData(id, old)
+			}
+			return asData(id, v)
+		}
+		blob, err := s.pn.st.ReadNode(id)
+		if err != nil {
+			return nil, err
+		}
+		if old, ok2 := s.mv.resolve(id, s.pin); ok2 {
+			return asData(id, old)
+		}
+		p, _, err := page.DecodeData(blob)
+		if err != nil {
+			return nil, fmt.Errorf("bvtree: decode data page %d: %w", id, err)
+		}
+		return p, nil
+	}
+	p, err := s.ns.Data(id)
+	if old, ok2 := s.mv.resolve(id, s.pin); ok2 {
+		return asData(id, old)
+	}
+	return p, err
+}
+
+// dataBatch implements dataBatcher for pinned views: the live batched
+// read runs first, then every page a writer has superseded since the
+// pin is overridden from its version chain.
+func (s *snapNodes) dataBatch(ids []page.ID, pages []*page.DataPage, blobs [][]byte, miss []page.ID) ([]*page.DataPage, [][]byte, []page.ID, error) {
+	pages, blobs, miss, err := s.pn.dataBatch(ids, pages, blobs, miss)
+	if err != nil {
+		return pages, blobs, miss, err
+	}
+	if s.mv.nOld.Load() == 0 {
+		return pages, blobs, miss, nil
+	}
+	for i, id := range ids {
+		if v, ok := s.mv.resolve(id, s.pin); ok {
+			dp, err := asData(id, v)
+			if err != nil {
+				return pages, blobs, miss, err
+			}
+			pages[i], blobs[i] = dp, nil
+		}
+	}
+	return pages, blobs, miss, nil
+}
+
+// prefetch implements dataBatcher. Warming the live store is still a
+// valid hint under a pin: chain overrides bypass it harmlessly.
+func (s *snapNodes) prefetch(ids []page.ID, scratch []page.ID) []page.ID {
+	return s.pn.prefetch(ids, scratch)
+}
+
+func asIndex(id page.ID, v interface{}) (*page.IndexNode, error) {
+	n, ok := v.(*page.IndexNode)
+	if !ok {
+		return nil, fmt.Errorf("bvtree: page %d is not an index node", id)
+	}
+	return n, nil
+}
+
+func asData(id page.ID, v interface{}) (*page.DataPage, error) {
+	p, ok := v.(*page.DataPage)
+	if !ok {
+		return nil, fmt.Errorf("bvtree: page %d is not a data page", id)
+	}
+	return p, nil
+}
+
+// newView builds an immutable Tree over the state pinned at pin. The
+// caller must hold at least the shared lock. The view shares the
+// owner's counters, histograms and tracer, so work done through it is
+// observable exactly like lock-holding reads.
+func (t *Tree) newView(pin uint64) *Tree {
+	sn := &snapNodes{ns: t.st, pn: t.paged, mv: t.mv, pin: pin}
+	v := &Tree{
+		st:        sn,
+		opt:       t.opt,
+		il:        t.il,
+		root:      t.root,
+		rootLevel: t.rootLevel,
+		size:      t.size,
+		epoch:     t.epoch,
+		baseLSN:   t.baseLSN,
+		stats:     t.stats,
+		metrics:   t.metrics,
+		tracer:    t.tracer,
+	}
+	if t.paged != nil {
+		v.bsrc = sn
+	}
+	return v
+}
+
+// readView pins the current epoch and returns an immutable view plus a
+// release function; the shared lock is dropped before returning, so the
+// caller's traversal runs without blocking writers. On a tree that is
+// itself a view (mv == nil) it degrades to holding the shared lock for
+// the call's duration — a view is already immutable, so its "lock" is
+// uncontended.
+func (t *Tree) readView() (*Tree, func()) {
+	t.mu.RLock()
+	if t.mv == nil {
+		return t, func() {
+			t.mu.RUnlock()
+			t.endOp()
+		}
+	}
+	pin := t.mv.pin()
+	v := t.newView(pin)
+	t.mu.RUnlock()
+	return v, func() {
+		t.mv.release(pin)
+		t.endOp()
+	}
+}
+
+// Snapshot is a pinned, immutable view of a Tree: every read observes
+// exactly the state the tree had at the moment the snapshot was taken,
+// regardless of concurrent mutations. Snapshots are cheap (no data is
+// copied up front; writers copy superseded pages on demand) but hold
+// resources — superseded page versions and deferred frees accumulate
+// until Release. Always release a snapshot; a snapshot is safe for
+// concurrent use by multiple readers.
+type Snapshot struct {
+	v        *Tree
+	owner    *Tree
+	pin      uint64
+	released atomic.Bool
+}
+
+// Snapshot pins the tree's current state and returns an immutable view
+// of it. The snapshot observes none of the mutations that commit after
+// it is taken. Call Release when done.
+func (t *Tree) Snapshot() (*Snapshot, error) {
+	if t.mv == nil {
+		return nil, errors.New("bvtree: cannot snapshot a snapshot view")
+	}
+	t.mu.RLock()
+	pin := t.mv.pin()
+	v := t.newView(pin)
+	t.mu.RUnlock()
+	return &Snapshot{v: v, owner: t, pin: pin}, nil
+}
+
+// Release unpins the snapshot, allowing the pages it kept alive to be
+// reclaimed. Release is idempotent; using the snapshot after Release is
+// a bug (reads may observe later states or freed pages).
+func (s *Snapshot) Release() {
+	if s.released.CompareAndSwap(false, true) {
+		s.owner.mv.release(s.pin)
+		s.owner.endOp()
+	}
+}
+
+// Len returns the number of items in the pinned state.
+func (s *Snapshot) Len() int { return s.v.size }
+
+// Height returns the index height of the pinned state.
+func (s *Snapshot) Height() int { return s.v.rootLevel }
+
+// Epoch returns the checkpoint epoch of the pinned state.
+func (s *Snapshot) Epoch() uint64 { return s.v.epoch }
+
+// Lookup returns the payloads stored at p in the pinned state.
+func (s *Snapshot) Lookup(p geometry.Point) ([]uint64, error) { return s.v.Lookup(p) }
+
+// RangeQuery visits every pinned item inside rect.
+func (s *Snapshot) RangeQuery(rect geometry.Rect, visit Visitor) error {
+	return s.v.RangeQuery(rect, visit)
+}
+
+// Count returns the number of pinned items inside rect.
+func (s *Snapshot) Count(rect geometry.Rect) (int, error) { return s.v.Count(rect) }
+
+// Scan visits every pinned item.
+func (s *Snapshot) Scan(visit Visitor) error { return s.v.Scan(visit) }
+
+// Nearest returns the k pinned items closest to p.
+func (s *Snapshot) Nearest(p geometry.Point, k int) ([]Neighbor, error) { return s.v.Nearest(p, k) }
+
+// Validate checks the structural invariants of the pinned state.
+func (s *Snapshot) Validate(full bool) error { return s.v.Validate(full) }

@@ -1,0 +1,480 @@
+package bvtree
+
+// Differential proof of the MVCC snapshot contract. The TestSnapshot*
+// name prefix is load-bearing — `make verify` runs this subset under the
+// race detector on every tier-1 verify.
+//
+// The core test serialises writers against a shadow map only at their
+// commit points (one mutex around tree-op + shadow-op), takes snapshots
+// at arbitrary moments between commits, and then scans each snapshot
+// concurrently with continued heavy writing: the scan must equal the
+// shadow copied at the snapshot's commit point, exactly — and must equal
+// it again after every writer has finished, proving the pinned view is
+// both correct and frozen.
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bvtree/internal/geometry"
+	"bvtree/internal/storage"
+	"bvtree/internal/workload"
+)
+
+// scanSet collects a tree-or-snapshot scan into payload -> point.
+func scanSet(t *testing.T, scan func(Visitor) error) map[uint64]geometry.Point {
+	t.Helper()
+	got := map[uint64]geometry.Point{}
+	if err := scan(func(p geometry.Point, payload uint64) bool {
+		got[payload] = p.Clone()
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func diffSets(want, got map[uint64]geometry.Point) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("snapshot holds %d items, shadow says %d", len(got), len(want))
+	}
+	for payload, p := range want {
+		q, ok := got[payload]
+		if !ok {
+			return fmt.Errorf("payload %d missing from snapshot", payload)
+		}
+		if !q.Equal(p) {
+			return fmt.Errorf("payload %d at %v in snapshot, shadow says %v", payload, q, p)
+		}
+	}
+	return nil
+}
+
+// snapshotDifferential is the harness: nWriters goroutines churn points
+// through tr while snapshots taken mid-churn are scanned concurrently
+// and compared against the shadow state captured at their commit point.
+func snapshotDifferential(t *testing.T, tr *Tree, pts []geometry.Point, nWriters int) {
+	t.Helper()
+
+	// shadowMu serialises commit points only: each writer holds it for
+	// one tree op + the matching shadow update, and the snapshot taker
+	// holds it across Snapshot() + shadow copy. Snapshot *scans* run
+	// outside it, fully concurrent with ongoing writes.
+	var shadowMu sync.Mutex
+	shadow := map[uint64]geometry.Point{}
+
+	base := pts[:len(pts)/4]
+	churn := pts[len(pts)/4:]
+	for i, p := range base {
+		if err := tr.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		shadow[uint64(i)] = p
+	}
+
+	var (
+		stop     atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			stop.Store(true)
+		}
+		errMu.Unlock()
+	}
+
+	var writers sync.WaitGroup
+	for w := 0; w < nWriters; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := w; i < len(churn); i += nWriters {
+				if stop.Load() {
+					return
+				}
+				payload := uint64(len(base) + i)
+				shadowMu.Lock()
+				err := tr.Insert(churn[i], payload)
+				if err == nil {
+					shadow[payload] = churn[i]
+				}
+				shadowMu.Unlock()
+				if err != nil {
+					fail(fmt.Errorf("writer %d: insert: %w", w, err))
+					return
+				}
+				if i%3 == 0 {
+					shadowMu.Lock()
+					ok, err := tr.Delete(churn[i], payload)
+					if err == nil && ok {
+						delete(shadow, payload)
+					}
+					shadowMu.Unlock()
+					if err != nil || !ok {
+						fail(fmt.Errorf("writer %d: delete: ok=%v err=%v", w, ok, err))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Snapshot takers: pin, copy the shadow at the same commit point,
+	// then verify the pinned view twice — once while writers are still
+	// running, once after they have all finished — against that copy.
+	type pinned struct {
+		s    *Snapshot
+		want map[uint64]geometry.Point
+	}
+	var taken []pinned
+	var takers sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		takers.Add(1)
+		go func(g int) {
+			defer takers.Done()
+			for k := 0; k < 4; k++ {
+				time.Sleep(time.Duration(1+g) * time.Millisecond)
+				shadowMu.Lock()
+				s, err := tr.Snapshot()
+				want := make(map[uint64]geometry.Point, len(shadow))
+				for payload, p := range shadow {
+					want[payload] = p
+				}
+				shadowMu.Unlock()
+				if err != nil {
+					fail(err)
+					return
+				}
+				if got := s.Len(); got != len(want) {
+					fail(fmt.Errorf("snapshot Len=%d, shadow has %d", got, len(want)))
+					s.Release()
+					return
+				}
+				got := map[uint64]geometry.Point{}
+				if err := s.Scan(func(p geometry.Point, payload uint64) bool {
+					got[payload] = p.Clone()
+					return true
+				}); err != nil {
+					fail(err)
+					s.Release()
+					return
+				}
+				if err := diffSets(want, got); err != nil {
+					fail(fmt.Errorf("mid-churn snapshot scan: %w", err))
+					s.Release()
+					return
+				}
+				// Spot-check the other read paths on the pinned view.
+				if n, err := s.Count(UniverseRectFor(tr)); err != nil || n != len(want) {
+					fail(fmt.Errorf("snapshot Count=%d err=%v, want %d", n, err, len(want)))
+					s.Release()
+					return
+				}
+				errMu.Lock()
+				taken = append(taken, pinned{s: s, want: want})
+				errMu.Unlock()
+			}
+		}(g)
+	}
+
+	writers.Wait()
+	takers.Wait()
+	stop.Store(true)
+	if firstErr != nil {
+		for _, pn := range taken {
+			pn.s.Release()
+		}
+		t.Fatal(firstErr)
+	}
+
+	// Re-verify every snapshot after all writes have committed: the
+	// pinned views must not have moved.
+	for _, pn := range taken {
+		got := scanSet(t, pn.s.Scan)
+		if err := diffSets(pn.want, got); err != nil {
+			t.Fatalf("post-churn snapshot re-scan: %v", err)
+		}
+		if err := pn.s.Validate(true); err != nil {
+			t.Fatalf("snapshot validate: %v", err)
+		}
+		pn.s.Release()
+	}
+
+	// All pins drained: epoch reclamation must leave nothing behind.
+	if err := tr.CheckSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	got := scanSet(t, tr.Scan)
+	if err := diffSets(shadow, got); err != nil {
+		t.Fatalf("final live scan: %v", err)
+	}
+}
+
+// UniverseRectFor returns the universe rectangle of tr's dimensionality.
+func UniverseRectFor(tr *Tree) geometry.Rect { return geometry.UniverseRect(tr.Options().Dims) }
+
+// TestSnapshotDifferentialMem proves the snapshot contract on the
+// in-memory store with 4 concurrent writers.
+func TestSnapshotDifferentialMem(t *testing.T) {
+	pts, err := workload.Generate(workload.Clustered, 2, 4000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(Options{Dims: 2, DataCapacity: 8, Fanout: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotDifferential(t, tr, pts, 4)
+}
+
+// TestSnapshotDifferentialPaged proves the snapshot contract over a real
+// on-disk FileStore with the decoded-node cache sized small enough that
+// snapshot reads continually miss it and hit the chain/recheck paths.
+func TestSnapshotDifferentialPaged(t *testing.T) {
+	pts, err := workload.Generate(workload.Uniform, 2, 3000, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := storage.CreateFileStore(filepath.Join(t.TempDir(), "snap.bv"), storage.FileStoreOptions{
+		SlotSize:  512,
+		PoolSlots: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	tr, err := NewPaged(st, Options{Dims: 2, DataCapacity: 8, Fanout: 8, CacheNodes: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotDifferential(t, tr, pts, 4)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotParallelEngine runs the parallel range engine on a pinned
+// snapshot while writers churn, and checks the result against the
+// commit-point shadow — the engine's workers traverse with no tree lock
+// at all, so this is the racing path the -race run exists for.
+func TestSnapshotParallelEngine(t *testing.T) {
+	pts, err := workload.Generate(workload.Uniform, 2, 6000, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(Options{Dims: 2, DataCapacity: 8, Fanout: 8, RangeWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shadowMu sync.Mutex
+	shadow := map[uint64]geometry.Point{}
+	for i, p := range pts[:3000] {
+		if err := tr.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		shadow[uint64(i)] = p
+	}
+	var writers sync.WaitGroup
+	var werr atomic.Value
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 3000 + w; i < len(pts); i += 4 {
+				shadowMu.Lock()
+				err := tr.Insert(pts[i], uint64(i))
+				if err == nil {
+					shadow[uint64(i)] = pts[i]
+				}
+				shadowMu.Unlock()
+				if err != nil {
+					werr.Store(err)
+					return
+				}
+			}
+		}(w)
+	}
+	shadowMu.Lock()
+	s, err := tr.Snapshot()
+	want := make(map[uint64]geometry.Point, len(shadow))
+	for payload, p := range shadow {
+		want[payload] = p
+	}
+	shadowMu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
+	got := map[uint64]geometry.Point{}
+	var gotMu sync.Mutex
+	if err := s.v.RangeQueryWorkers(UniverseRectFor(tr), func(p geometry.Point, payload uint64) bool {
+		gotMu.Lock()
+		got[payload] = p.Clone()
+		gotMu.Unlock()
+		return true
+	}, 4); err != nil {
+		t.Fatal(err)
+	}
+	writers.Wait()
+	if err, _ := werr.Load().(error); err != nil {
+		t.Fatal(err)
+	}
+	if err := diffSets(want, got); err != nil {
+		t.Fatalf("parallel engine on snapshot: %v", err)
+	}
+}
+
+// TestSnapshotSlowVisitorDoesNotBlockInsert is the lock-drop regression
+// test: a range query whose visitor parks indefinitely must not hold the
+// tree lock, so a concurrent Insert completes while the visitor sleeps.
+func TestSnapshotSlowVisitorDoesNotBlockInsert(t *testing.T) {
+	pts, err := workload.Generate(workload.Uniform, 2, 400, 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(Options{Dims: 2, DataCapacity: 8, Fanout: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts[:len(pts)-1] {
+		if err := tr.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	visiting := make(chan struct{})
+	proceed := make(chan struct{})
+	queryDone := make(chan error, 1)
+	go func() {
+		first := true
+		queryDone <- tr.RangeQuery(UniverseRectFor(tr), func(geometry.Point, uint64) bool {
+			if first {
+				first = false
+				close(visiting)
+				<-proceed // park mid-scan, holding only the epoch pin
+			}
+			return true
+		})
+	}()
+	<-visiting
+	inserted := make(chan error, 1)
+	go func() {
+		inserted <- tr.Insert(pts[len(pts)-1], uint64(len(pts)-1))
+	}()
+	select {
+	case err := <-inserted:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Insert blocked behind a parked range-query visitor")
+	}
+	close(proceed)
+	if err := <-queryDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotReclamation verifies the epoch reclamation ledger: while a
+// snapshot is pinned, superseded versions and deferred frees accumulate;
+// the moment the last pin drains they are all reclaimed, and the
+// invariant checker certifies a zero balance.
+func TestSnapshotReclamation(t *testing.T) {
+	pts, err := workload.Generate(workload.Uniform, 2, 2000, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(Options{Dims: 2, DataCapacity: 8, Fanout: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts[:1000] {
+		if err := tr.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := tr.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := s.Len()
+	// Heavy churn under the pin: inserts split pages, deletes merge and
+	// free them — both capture versions and defer frees.
+	for i, p := range pts[1000:] {
+		if err := tr.Insert(p, uint64(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range pts[:500] {
+		if ok, err := tr.Delete(p, uint64(i)); err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	m := tr.Metrics()
+	if m.MVCC == nil || m.MVCC.Captures == 0 {
+		t.Fatalf("expected captured versions under an active pin, metrics=%+v", m.MVCC)
+	}
+	if got := s.Len(); got != wantLen {
+		t.Fatalf("pinned Len moved: %d -> %d", wantLen, got)
+	}
+	if err := s.Validate(true); err != nil {
+		t.Fatalf("pinned view validate after churn: %v", err)
+	}
+	s.Release()
+	if err := tr.CheckSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+	m = tr.Metrics()
+	if m.MVCC.Versions != 0 || m.MVCC.PinnedEpochs != 0 {
+		t.Fatalf("retained versions after drain: %+v", m.MVCC)
+	}
+	if m.MVCC.FreesDeferred > 0 && m.MVCC.FreesReclaimed != m.MVCC.FreesDeferred {
+		t.Fatalf("deferred frees not fully reclaimed: %+v", m.MVCC)
+	}
+	if err := tr.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotOfSnapshotFails pins the API contract: views cannot be
+// re-snapshotted, and snapshot stores reject mutation.
+func TestSnapshotOfSnapshotFails(t *testing.T) {
+	tr, err := New(Options{Dims: 2, DataCapacity: 8, Fanout: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(geometry.Point{1, 2}, 7); err != nil {
+		t.Fatal(err)
+	}
+	s, err := tr.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
+	if _, err := s.v.Snapshot(); err == nil {
+		t.Fatal("snapshot of a snapshot view unexpectedly succeeded")
+	}
+	if err := s.v.Insert(geometry.Point{3, 4}, 8); err == nil {
+		t.Fatal("insert through a snapshot view unexpectedly succeeded")
+	}
+	got, err := s.Lookup(geometry.Point{1, 2})
+	if err != nil || len(got) != 1 || got[0] != 7 {
+		t.Fatalf("snapshot lookup: got %v err=%v", got, err)
+	}
+	if nbrs, err := s.Nearest(geometry.Point{1, 2}, 1); err != nil || len(nbrs) != 1 || nbrs[0].Dist != 0 {
+		t.Fatalf("snapshot nearest: got %v err=%v", nbrs, err)
+	}
+	s.Release() // idempotent
+}

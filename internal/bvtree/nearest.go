@@ -28,15 +28,14 @@ type Neighbor struct {
 // than the current k-th candidate are ever visited. A region's points are
 // a subset of its brick, so the brick lower bound is valid.
 func (t *Tree) Nearest(p geometry.Point, k int) ([]Neighbor, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	defer t.endOp()
-	m, tr := t.metrics, t.tracer
+	v, release := t.readView()
+	defer release()
+	m, tr := v.metrics, v.tracer
 	if m == nil && tr == nil {
-		return t.nearestLocked(p, k)
+		return v.nearestLocked(p, k)
 	}
 	start := time.Now()
-	out, err := t.nearestLocked(p, k)
+	out, err := v.nearestLocked(p, k)
 	dur := time.Since(start)
 	if m != nil {
 		m.Nearest.Observe(int64(dur))
@@ -47,7 +46,7 @@ func (t *Tree) Nearest(p geometry.Point, k int) ([]Neighbor, error) {
 	return out, err
 }
 
-// nearestLocked is Nearest's body (shared lock held).
+// nearestLocked is Nearest's body, run on a pinned immutable view.
 func (t *Tree) nearestLocked(p geometry.Point, k int) ([]Neighbor, error) {
 	if len(p) != t.opt.Dims {
 		return nil, fmt.Errorf("bvtree: point has %d dims, tree has %d", len(p), t.opt.Dims)
@@ -112,8 +111,8 @@ func (t *Tree) nearestLocked(p geometry.Point, k int) ([]Neighbor, error) {
 				pfIDs = append(pfIDs, e.Child)
 			}
 		}
-		if t.paged != nil && len(pfIDs) > 1 {
-			pfScratch = t.paged.prefetch(pfIDs, pfScratch)
+		if t.bsrc != nil && len(pfIDs) > 1 {
+			pfScratch = t.bsrc.prefetch(pfIDs, pfScratch)
 		}
 	}
 

@@ -27,12 +27,22 @@ type NodeStore interface {
 	Free(id page.ID) error
 }
 
+// dataBatcher is the batched-read seam of the range-query engine,
+// implemented by the decoded cache of a paged tree and by the
+// chain-resolving node source of a pinned view. Trees expose it as
+// Tree.bsrc so the engine runs identically on live trees and snapshots.
+type dataBatcher interface {
+	dataBatch(ids []page.ID, pages []*page.DataPage, blobs [][]byte, miss []page.ID) ([]*page.DataPage, [][]byte, []page.ID, error)
+	prefetch(ids []page.ID, scratch []page.ID) []page.ID
+}
+
 // memNodes keeps decoded nodes in memory; saves are no-ops. It is the
 // store used for algorithmic experiments, where only logical node accesses
-// matter. Index/Data are pure map reads, so concurrent readers need no
-// further synchronisation: the map is only mutated under the tree's
-// exclusive lock.
+// matter. The map is guarded by an RWMutex rather than the tree lock
+// alone because pinned snapshot readers fetch nodes without holding any
+// tree lock, concurrently with writer map mutations.
 type memNodes struct {
+	mu    sync.RWMutex
 	nodes map[page.ID]interface{}
 	next  page.ID
 }
@@ -42,6 +52,8 @@ func newMemNodes() *memNodes {
 }
 
 func (m *memNodes) AllocIndex(level int, reg region.BitString) (page.ID, *page.IndexNode, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	id := m.next
 	m.next++
 	n := &page.IndexNode{Level: level, Region: reg}
@@ -50,6 +62,8 @@ func (m *memNodes) AllocIndex(level int, reg region.BitString) (page.ID, *page.I
 }
 
 func (m *memNodes) AllocData(reg region.BitString) (page.ID, *page.DataPage, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	id := m.next
 	m.next++
 	p := &page.DataPage{Region: reg}
@@ -58,7 +72,9 @@ func (m *memNodes) AllocData(reg region.BitString) (page.ID, *page.DataPage, err
 }
 
 func (m *memNodes) Index(id page.ID) (*page.IndexNode, error) {
+	m.mu.RLock()
 	n, ok := m.nodes[id].(*page.IndexNode)
+	m.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("bvtree: page %d is not an index node", id)
 	}
@@ -66,7 +82,9 @@ func (m *memNodes) Index(id page.ID) (*page.IndexNode, error) {
 }
 
 func (m *memNodes) Data(id page.ID) (*page.DataPage, error) {
+	m.mu.RLock()
 	p, ok := m.nodes[id].(*page.DataPage)
+	m.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("bvtree: page %d is not a data page", id)
 	}
@@ -74,16 +92,22 @@ func (m *memNodes) Data(id page.ID) (*page.DataPage, error) {
 }
 
 func (m *memNodes) SaveIndex(id page.ID, n *page.IndexNode) error {
+	m.mu.Lock()
 	m.nodes[id] = n
+	m.mu.Unlock()
 	return nil
 }
 
 func (m *memNodes) SaveData(id page.ID, p *page.DataPage) error {
+	m.mu.Lock()
 	m.nodes[id] = p
+	m.mu.Unlock()
 	return nil
 }
 
 func (m *memNodes) Free(id page.ID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, ok := m.nodes[id]; !ok {
 		return fmt.Errorf("bvtree: free of unknown page %d", id)
 	}

@@ -24,10 +24,11 @@ import (
 // guard entries make common — complete during the serial expansion and
 // never pay pool startup.
 //
-// The engine runs entirely inside the query's shared-lock critical
-// section: every worker is joined before the query returns, so the lock
-// discipline of the tree is unchanged — workers read nodes exactly the
-// way parallel read-only operations already do.
+// The engine runs against a pinned epoch view (e.t is the view tree a
+// readView call produced, not the live tree): every worker is joined
+// before the query returns, and no tree lock is held while workers run —
+// the pin keeps every node the view can reach immutable, so writers
+// commit concurrently without ever being observed mid-flight.
 //
 // Three mechanisms give the engine its speed beyond using more cores:
 //
@@ -339,7 +340,7 @@ func (e *rangeEngine) runTask(task rangeTask, w *rangeScratch, local []rangeTask
 	}
 	// Hint the pager at the index children first: their I/O warms while
 	// this worker scans the data children below.
-	if pn := e.t.paged; pn != nil && len(w.idxIDs) > 0 {
+	if pn := e.t.bsrc; pn != nil && len(w.idxIDs) > 0 {
 		w.pf = pn.prefetch(w.idxIDs, w.pf)
 	}
 	return local, e.scanBatch(w)
@@ -350,7 +351,7 @@ func (e *rangeEngine) scanBatch(w *rangeScratch) error {
 	if len(w.dataIDs) == 0 {
 		return nil
 	}
-	pn := e.t.paged
+	pn := e.t.bsrc
 	if pn == nil {
 		for i, id := range w.dataIDs {
 			if e.stopped.Load() {
@@ -392,10 +393,10 @@ func (e *rangeEngine) scanBatch(w *rangeScratch) error {
 }
 
 // emitItems counts, or appends to the worker's delivery buffer, one
-// decoded data page's matching items. The items of a cached page are
-// immutable for the duration of the query (mutations hold the exclusive
-// lock; eviction runs between operations), so copying them out here
-// reads stable memory.
+// decoded data page's matching items. The items of any page the pinned
+// view can reach are immutable for the duration of the query — a writer
+// that needs to change such a page captures it into its version chain
+// and mutates a clone — so copying them out here reads stable memory.
 func (e *rangeEngine) emitItems(items []page.Item, full bool, w *rangeScratch) error {
 	if full {
 		e.t.stats.RangeFullPages.Inc()

@@ -34,21 +34,25 @@ func (t *Tree) RangeQuery(rect geometry.Rect, visit Visitor) error {
 // RangeQueryWorkers is RangeQuery with a per-query worker override:
 // 0 uses the tree's default (Options.RangeWorkers), 1 forces the serial
 // reference walk, n > 1 caps the engine's pool at n workers.
+//
+// The query pins the current epoch and traverses an immutable view, so
+// the tree lock is released before the first node is visited: a slow
+// visitor (or a large scan) never blocks writers, and the query result
+// is exactly the tree state at the moment the call started.
 func (t *Tree) RangeQueryWorkers(rect geometry.Rect, visit Visitor, workers int) error {
 	if workers < 0 {
 		return fmt.Errorf("bvtree: negative range worker count %d", workers)
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	defer t.endOp()
-	workers = t.rangeWorkers(workers)
-	m, tr := t.metrics, t.tracer
+	v, release := t.readView()
+	defer release()
+	workers = v.rangeWorkers(workers)
+	m, tr := v.metrics, v.tracer
 	if m == nil && tr == nil {
-		return t.rangeQueryLocked(rect, visit, workers)
+		return v.rangeQueryLocked(rect, visit, workers)
 	}
 	start := time.Now()
 	var visited int64
-	err := t.rangeQueryLocked(rect, func(p geometry.Point, payload uint64) bool {
+	err := v.rangeQueryLocked(rect, func(p geometry.Point, payload uint64) bool {
 		visited++
 		return visit(p, payload)
 	}, workers)
@@ -75,9 +79,11 @@ func (t *Tree) rangeWorkers(override int) int {
 	return w
 }
 
-// rangeQueryLocked is the query body (shared lock held). workers <= 1
-// runs the serial reference walk; otherwise the breadth-first descent
-// engages the parallel engine once the frontier shows real fan-out.
+// rangeQueryLocked is the query body, run on a pinned immutable view
+// (or with the shared lock held, when the receiver is itself a view).
+// workers <= 1 runs the serial reference walk; otherwise the
+// breadth-first descent engages the parallel engine once the frontier
+// shows real fan-out.
 func (t *Tree) rangeQueryLocked(rect geometry.Rect, visit Visitor, workers int) error {
 	if rect.Dims() != t.opt.Dims {
 		return fmt.Errorf("bvtree: query rect has %d dims, tree has %d", rect.Dims(), t.opt.Dims)
@@ -124,11 +130,10 @@ func (t *Tree) rangeNode(id page.ID, rect geometry.Rect, visit Visitor) (bool, e
 	if err != nil {
 		return false, err
 	}
-	// Iterating n.Entries in place is safe under the shared lock: cache
-	// eviction runs only in endOp (after the query releases the lock),
-	// mutations hold the exclusive lock, and a concurrent reader
-	// re-decoding the node into the cache installs a fresh node object
-	// rather than touching this one.
+	// Iterating n.Entries in place is safe on a pinned view: a node the
+	// pin can still observe is never mutated — the first write to it
+	// captures it into its version chain and mutates a clone — and cache
+	// eviction only drops map references, never touches node objects.
 	for i := range n.Entries {
 		e := &n.Entries[i]
 		if !region.BrickIntersects(e.Key, t.opt.Dims, rect) {
@@ -238,7 +243,7 @@ func (t *Tree) parallelRange(rect geometry.Rect, visit Visitor, workers int) err
 // decode outside the decoded-node cache, and no per-point containment
 // test for pages whose brick lies inside rect.
 func (t *Tree) scanDataSet(ids []page.ID, full []bool, rect geometry.Rect, visit Visitor) (bool, error) {
-	pn := t.paged
+	pn := t.bsrc
 	if pn == nil {
 		for i, id := range ids {
 			dp, err := t.fetchData(id)
@@ -327,22 +332,22 @@ func (t *Tree) Count(rect geometry.Rect) (int, error) {
 }
 
 // CountWorkers is Count with a per-query worker override, interpreted as
-// in RangeQueryWorkers.
+// in RangeQueryWorkers. Like RangeQueryWorkers it runs on a pinned
+// immutable view, holding no tree lock during the traversal.
 func (t *Tree) CountWorkers(rect geometry.Rect, workers int) (int, error) {
 	if workers < 0 {
 		return 0, fmt.Errorf("bvtree: negative range worker count %d", workers)
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	defer t.endOp()
-	workers = t.rangeWorkers(workers)
-	m, tr := t.metrics, t.tracer
+	v, release := t.readView()
+	defer release()
+	workers = v.rangeWorkers(workers)
+	m, tr := v.metrics, v.tracer
 	if m == nil && tr == nil {
-		n, err := t.countLocked(rect, workers)
+		n, err := v.countLocked(rect, workers)
 		return int(n), err
 	}
 	start := time.Now()
-	n, err := t.countLocked(rect, workers)
+	n, err := v.countLocked(rect, workers)
 	dur := time.Since(start)
 	if m != nil {
 		m.RangeQuery.Observe(int64(dur))
@@ -468,7 +473,7 @@ func (t *Tree) countNode(id page.ID, full bool, rect geometry.Rect, cs *countScr
 // item-decoded (page.DecodeDataCount).
 func (t *Tree) countDataSet(ids []page.ID, full []bool, rect geometry.Rect, cs *countScratch) (int64, error) {
 	total := int64(0)
-	pn := t.paged
+	pn := t.bsrc
 	if pn == nil {
 		for i, id := range ids {
 			dp, err := t.fetchData(id)

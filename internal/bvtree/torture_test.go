@@ -168,6 +168,12 @@ func checkRecoveredState(d *DurableTree, shadow map[uint64]geometry.Point, infli
 	if err := d.Validate(true); err != nil {
 		return fmt.Errorf("invariant violation: %w", err)
 	}
+	// A freshly recovered tree has no pinned readers, so the epoch
+	// reclamation ledger must be empty — a leak here means recovery (or
+	// the replay's write path) left version-chain state behind.
+	if err := d.CheckSnapshots(); err != nil {
+		return fmt.Errorf("epoch reclamation invariant: %w", err)
+	}
 	return nil
 }
 

@@ -96,21 +96,28 @@ func (o *Options) fill() error {
 type OpStats = obs.TreeCountersSnapshot
 
 // Tree is a BV-tree. All methods are safe for concurrent use under a
-// reader–writer contract:
+// reader–writer contract with multi-version reads:
 //
-//   - Read-only operations — Lookup, Contains, SearchCost, RangeQuery,
-//     PartialMatch, Scan, Count, Nearest, CollectStats, Dump, Validate,
-//     Len, Height, Stats, Epoch, ResetAccessCount — hold a shared lock and
-//     run in parallel with one another.
+//   - Point reads — Lookup, Contains, SearchCost, CollectStats, Dump,
+//     Validate, Len, Height, Stats, Epoch, ResetAccessCount — hold a
+//     shared lock and run in parallel with one another.
+//   - Traversal reads — RangeQuery, PartialMatch, Scan, Count, Nearest —
+//     and the explicit Snapshot API take the shared lock only to pin an
+//     epoch, then run lock-free against an immutable copy-on-write view:
+//     a slow visitor or a long scan never blocks a writer, and the
+//     result is exactly the tree state at the moment the call started.
 //   - Mutating operations — Insert, Delete, Maintain, Flush — hold the
-//     lock exclusively and serialise against everything.
+//     lock exclusively; before disturbing a page a pinned reader may
+//     still need, they capture its pre-image into a version chain
+//     (mvcc.go).
 //
 // The guard-set exact-match search (§3), range traversal and best-first
 // kNN keep all scratch state (guard sets, visit stacks, candidate heaps)
 // on the operation's own stack and never write to nodes, which is what
 // makes the shared-lock read path sound; the only shared mutable state
-// they touch is the OpStats counters (atomic) and the decoded-node caches
-// (internally synchronised, see pagedNodes and the storage stores).
+// they touch is the OpStats counters (atomic), the decoded-node caches
+// (internally synchronised, see pagedNodes and the storage stores) and
+// the epoch/version machinery (mvccState, internally synchronised).
 type Tree struct {
 	mu  sync.RWMutex
 	st  NodeStore
@@ -121,8 +128,14 @@ type Tree struct {
 	rootLevel int // index level of the root; 0 while the root is a data page
 	size      int
 	epoch     uint64 // checkpoint epoch of a paged tree (see page.Meta.Epoch)
+	// baseLSN is the logical sequence number the tree's state corresponds
+	// to: maintained by the durable layer, stamped into backups, and set
+	// by RestoreSnapshot/RestoreToLSN. 0 for trees with no WAL history.
+	baseLSN uint64
 
-	stats obs.TreeCounters
+	// stats is shared by pointer with every pinned view of the tree, so
+	// work done through a snapshot is counted on the owner.
+	stats *obs.TreeCounters
 	// metrics holds the opt-in per-operation histograms; nil when
 	// Options.Metrics is off, so disabled instrumentation costs one nil
 	// check per operation. Set at construction or via EnableMetrics
@@ -134,7 +147,15 @@ type Tree struct {
 	tracer obs.Tracer
 
 	paged *pagedNodes // non-nil when backed by a storage.Store
-	bst   storage.Store
+	// bsrc is the batched-read seam used by the range engine: the decoded
+	// cache itself for a live paged tree, a chain-resolving wrapper for a
+	// pinned view, nil for in-memory trees.
+	bsrc dataBatcher
+	bst  storage.Store
+
+	// mv is the snapshot/epoch machinery (see mvcc.go); nil only on the
+	// immutable view trees mv itself creates.
+	mv *mvccState
 }
 
 // New returns an in-memory BV-tree.
@@ -202,17 +223,21 @@ func OpenPaged(st storage.Store, cacheNodes int) (*Tree, error) {
 		return nil, err
 	}
 	pn := newPagedNodes(st, opt.Dims, opt.CacheNodes)
-	return &Tree{
+	t := &Tree{
 		st:        pn,
 		opt:       opt,
 		il:        il,
 		paged:     pn,
+		bsrc:      pn,
 		bst:       st,
 		root:      m.Root,
 		rootLevel: m.RootLevel,
 		size:      int(m.Size),
 		epoch:     m.Epoch,
-	}, nil
+		stats:     &obs.TreeCounters{},
+	}
+	t.mv = newMVCCState(pn.Free)
+	return t, nil
 }
 
 // Flush persists the tree's root record and syncs the backing store. It
@@ -246,7 +271,11 @@ func newTree(ns NodeStore, pn *pagedNodes, bst storage.Store, opt Options) (*Tre
 	if err != nil {
 		return nil, err
 	}
-	t := &Tree{st: ns, opt: opt, il: il, paged: pn, bst: bst}
+	t := &Tree{st: ns, opt: opt, il: il, paged: pn, bst: bst, stats: &obs.TreeCounters{}}
+	if pn != nil {
+		t.bsrc = pn
+	}
+	t.mv = newMVCCState(ns.Free)
 	if opt.Metrics {
 		t.metrics = &obs.TreeMetrics{}
 	}

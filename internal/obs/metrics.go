@@ -220,11 +220,65 @@ type StoreSnapshot struct {
 	FreeSlots int64 `json:"free_slots"`
 }
 
+// MVCCMetrics are the always-on counters of the snapshot/epoch
+// subsystem: epoch pins taken by snapshots and pinned reads, pre-image
+// page versions captured for those pins, reclamation activity, and the
+// online-backup path. Like TreeCounters they cost a handful of atomic
+// adds and need no opt-in switch.
+type MVCCMetrics struct {
+	PinnedEpochs Gauge   // currently pinned epochs (open snapshots + in-flight pinned reads)
+	Pins         Counter // epoch pins ever taken
+	Captures     Counter // pre-image page versions captured for pinned readers
+	Versions     Gauge   // pre-image versions currently retained
+	Reclaimed    Counter // pre-image versions released after their last reader drained
+	DeferredFree Counter // page frees parked while pins were active
+	ReclaimedFre Counter // deferred frees executed after epoch drain
+	DoubleFrees  Counter // duplicate deferred frees detected (invariant violations)
+	Backups      Counter // SnapshotBackup streams completed
+	BackupBytes  Counter // bytes written by completed backups
+	BackupNs     Histogram
+}
+
+// MVCCSnapshot is the snapshot/epoch subsystem's part of a metrics
+// snapshot.
+type MVCCSnapshot struct {
+	PinnedEpochs   int64             `json:"pinned_epochs"`
+	Pins           uint64            `json:"pins"`
+	Captures       uint64            `json:"captures"`
+	Versions       int64             `json:"versions_retained"`
+	Reclaimed      uint64            `json:"versions_reclaimed"`
+	FreesDeferred  uint64            `json:"frees_deferred"`
+	FreesReclaimed uint64            `json:"frees_reclaimed"`
+	DoubleFrees    uint64            `json:"double_frees"`
+	Backups        uint64            `json:"backups"`
+	BackupBytes    uint64            `json:"backup_bytes"`
+	BackupNs       HistogramSnapshot `json:"backup_ns"`
+}
+
+// Snapshot copies the MVCC counters.
+func (m *MVCCMetrics) Snapshot() MVCCSnapshot {
+	return MVCCSnapshot{
+		PinnedEpochs:   m.PinnedEpochs.Load(),
+		Pins:           m.Pins.Load(),
+		Captures:       m.Captures.Load(),
+		Versions:       m.Versions.Load(),
+		Reclaimed:      m.Reclaimed.Load(),
+		FreesDeferred:  m.DeferredFree.Load(),
+		FreesReclaimed: m.ReclaimedFre.Load(),
+		DoubleFrees:    m.DoubleFrees.Load(),
+		Backups:        m.Backups.Load(),
+		BackupBytes:    m.BackupBytes.Load(),
+		BackupNs:       m.BackupNs.Snapshot(),
+	}
+}
+
 // Snapshot is the combined observability snapshot returned by
 // Tree.Metrics(): the tree layer always, the storage layer for paged
-// trees, and the WAL layer for durable trees.
+// trees, the WAL layer for durable trees, and the MVCC layer whenever
+// the tree supports epoch snapshots.
 type Snapshot struct {
 	Tree  TreeSnapshot   `json:"tree"`
 	WAL   *WALSnapshot   `json:"wal,omitempty"`
 	Store *StoreSnapshot `json:"store,omitempty"`
+	MVCC  *MVCCSnapshot  `json:"mvcc,omitempty"`
 }

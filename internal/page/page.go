@@ -60,6 +60,20 @@ type IndexNode struct {
 	Entries []Entry
 }
 
+// Clone returns a copy of n whose Entries slice has a private backing
+// array, so the copy can be appended to, compacted, or rebound without
+// disturbing the original. Entry keys are BitStrings with value
+// semantics (no in-place mutators), so sharing their word storage across
+// the copy is safe.
+func (n *IndexNode) Clone() *IndexNode {
+	c := &IndexNode{Level: n.Level, Region: n.Region}
+	if len(n.Entries) > 0 {
+		c.Entries = make([]Entry, len(n.Entries))
+		copy(c.Entries, n.Entries)
+	}
+	return c
+}
+
 // Item is one stored record: an n-dimensional point plus an opaque payload
 // (typically a record identifier).
 type Item struct {
@@ -71,6 +85,18 @@ type Item struct {
 type DataPage struct {
 	Region region.BitString
 	Items  []Item
+}
+
+// Clone returns a copy of p whose Items slice has a private backing
+// array. Item points are shared: tree code never mutates a stored
+// point's coordinates in place, it only rebinds whole items.
+func (p *DataPage) Clone() *DataPage {
+	c := &DataPage{Region: p.Region}
+	if len(p.Items) > 0 {
+		c.Items = make([]Item, len(p.Items))
+		copy(c.Items, p.Items)
+	}
+	return c
 }
 
 const (

@@ -5,12 +5,14 @@
 // "completely predictable all the time" operational requirement the
 // paper's introduction motivates.
 //
-// On-disk layout: a 16-byte preamble (magic, checkpoint epoch, CRC)
-// followed by records, each `length(4) | crc32(4) | body`. The epoch in
-// the preamble mirrors the store's checkpoint epoch and tells recovery
+// On-disk layout: a 24-byte preamble (magic, checkpoint epoch, base LSN,
+// CRC) followed by records, each `length(4) | crc32(4) | body`. The epoch
+// in the preamble mirrors the store's checkpoint epoch and tells recovery
 // whether the records postdate the last checkpoint (replay them) or were
 // already absorbed by a checkpoint that crashed before resetting the log
-// (discard them).
+// (discard them). The base LSN numbers the first record of the log: the
+// i-th intact record (0-based) has LSN base+i+1, so point-in-time restore
+// can address "replay through LSN n" across log resets.
 //
 // Replay distinguishes two kinds of damage. A torn *tail* — the expected
 // residue of a crash mid-append — ends the replay cleanly and is
@@ -46,13 +48,14 @@ var (
 // Log is an append-only record log. Concurrent use must be serialised by
 // the caller (the durable tree holds its own mutex).
 type Log struct {
-	f      vfs.File
-	path   string
-	size   atomic.Int64 // record bytes, excluding the preamble; atomic so Size() can be read concurrently with a group-commit leader's append
-	epoch  uint64
-	hdrOK  bool // preamble present and intact on disk
-	synced bool
-	closed bool
+	f       vfs.File
+	path    string
+	size    atomic.Int64 // record bytes, excluding the preamble; atomic so Size() can be read concurrently with a group-commit leader's append
+	epoch   uint64
+	baseLSN uint64
+	hdrOK   bool // preamble present and intact on disk
+	synced  bool
+	closed  bool
 
 	batchBuf []byte // reusable AppendBatch framing scratch
 
@@ -72,8 +75,8 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 const (
 	recordHeader = 8 // length (4) + crc (4)
 
-	preambleSize  = 16         // magic (4) + epoch (8) + crc (4)
-	preambleMagic = 0x454C4157 // "WALE"
+	preambleSize  = 24         // magic (4) + epoch (8) + base LSN (8) + crc (4)
+	preambleMagic = 0x464C4157 // "WALF"
 
 	// maxRecord bounds a record length read from disk so that a damaged
 	// length field cannot force a huge allocation.
@@ -101,9 +104,10 @@ func OpenFS(fs vfs.FS, path string) (*Log, error) {
 		n, _ := f.ReadAt(hdr, 0)
 		if n == preambleSize &&
 			binary.LittleEndian.Uint32(hdr) == preambleMagic &&
-			crc32.Checksum(hdr[:12], crcTable) == binary.LittleEndian.Uint32(hdr[12:]) {
+			crc32.Checksum(hdr[:20], crcTable) == binary.LittleEndian.Uint32(hdr[20:]) {
 			l.hdrOK = true
 			l.epoch = binary.LittleEndian.Uint64(hdr[4:])
+			l.baseLSN = binary.LittleEndian.Uint64(hdr[12:])
 			l.size.Store(st.Size() - preambleSize)
 		} else {
 			// Damaged preamble. If an intact record survives beyond it we
@@ -129,9 +133,14 @@ func OpenFS(fs vfs.FS, path string) (*Log, error) {
 // (0 for a fresh or unrecoverably-damaged log).
 func (l *Log) Epoch() uint64 { return l.epoch }
 
-// initPreamble (re)writes the preamble for the given epoch, discarding any
-// existing content.
-func (l *Log) initPreamble(epoch uint64) error {
+// BaseLSN returns the base LSN recorded in the log's preamble: the LSN
+// of the record preceding the log's first record, so record i (0-based)
+// has LSN BaseLSN()+i+1.
+func (l *Log) BaseLSN() uint64 { return l.baseLSN }
+
+// initPreamble (re)writes the preamble for the given epoch and base LSN,
+// discarding any existing content.
+func (l *Log) initPreamble(epoch, baseLSN uint64) error {
 	if err := l.f.Truncate(0); err != nil {
 		return fmt.Errorf("wal: truncate %s: %w", l.path, err)
 	}
@@ -141,11 +150,13 @@ func (l *Log) initPreamble(epoch uint64) error {
 	hdr := make([]byte, preambleSize)
 	binary.LittleEndian.PutUint32(hdr, preambleMagic)
 	binary.LittleEndian.PutUint64(hdr[4:], epoch)
-	binary.LittleEndian.PutUint32(hdr[12:], crc32.Checksum(hdr[:12], crcTable))
+	binary.LittleEndian.PutUint64(hdr[12:], baseLSN)
+	binary.LittleEndian.PutUint32(hdr[20:], crc32.Checksum(hdr[:20], crcTable))
 	if _, err := l.f.Write(hdr); err != nil {
 		return fmt.Errorf("wal: write preamble %s: %w", l.path, err)
 	}
 	l.epoch = epoch
+	l.baseLSN = baseLSN
 	l.hdrOK = true
 	l.size.Store(0)
 	l.synced = false
@@ -164,7 +175,7 @@ func (l *Log) Append(rec []byte) error {
 		return fmt.Errorf("wal: append %s: empty record", l.path)
 	}
 	if !l.hdrOK {
-		if err := l.initPreamble(l.epoch); err != nil {
+		if err := l.initPreamble(l.epoch, l.baseLSN); err != nil {
 			return err
 		}
 	}
@@ -209,7 +220,7 @@ func (l *Log) AppendBatch(recs [][]byte) error {
 		total += recordHeader + len(rec)
 	}
 	if !l.hdrOK {
-		if err := l.initPreamble(l.epoch); err != nil {
+		if err := l.initPreamble(l.epoch, l.baseLSN); err != nil {
 			return err
 		}
 	}
@@ -359,12 +370,20 @@ func scanIntact(f vfs.File, from, end int64) (int64, bool, error) {
 
 // Reset empties the log after a checkpoint has made its contents
 // redundant, stamps the new checkpoint epoch into the preamble, and makes
-// the result durable.
+// the result durable. The base LSN is preserved; use ResetAt when the
+// checkpoint knows how many records it absorbed.
 func (l *Log) Reset(epoch uint64) error {
+	return l.ResetAt(epoch, l.baseLSN)
+}
+
+// ResetAt is Reset with an explicit base LSN: the LSN of the last record
+// the checkpoint absorbed, so the log's next record is numbered
+// baseLSN+1.
+func (l *Log) ResetAt(epoch, baseLSN uint64) error {
 	if l.closed {
 		return ErrClosed
 	}
-	if err := l.initPreamble(epoch); err != nil {
+	if err := l.initPreamble(epoch, baseLSN); err != nil {
 		return err
 	}
 	if err := l.f.Sync(); err != nil {

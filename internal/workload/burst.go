@@ -1,0 +1,39 @@
+package workload
+
+import "bvtree/internal/geometry"
+
+// Bursts is the adversarial ingest schedule for the snapshot/backup
+// experiments: it deals a generated point stream into bursts whose sizes
+// follow a heavy-tailed distribution around meanBurst (most bursts are
+// small, but roughly one in eight is up to ~8× the mean). A writer
+// commits each burst back-to-back with no think time, so sooner or later
+// a large burst lands entirely inside a checkpoint or backup window —
+// exactly the arrival pattern that exposes writer stalls a uniform
+// open-loop stream would average away. The schedule is deterministic for
+// a given seed, like every generator in this package.
+func Bursts(kind Kind, dims, total, meanBurst int, seed uint64) ([][]geometry.Point, error) {
+	pts, err := Generate(kind, dims, total, seed)
+	if err != nil {
+		return nil, err
+	}
+	if meanBurst < 1 {
+		meanBurst = 1
+	}
+	src := NewSource(seed ^ 0xB0B5)
+	var out [][]geometry.Point
+	for off := 0; off < total; {
+		// Base size uniform in [1, meanBurst]; every eighth draw is
+		// stretched by a uniform factor up to 8× — a crude but
+		// deterministic heavy tail.
+		n := 1 + src.Intn(meanBurst)
+		if src.Intn(8) == 0 {
+			n *= 1 + src.Intn(8)
+		}
+		if off+n > total {
+			n = total - off
+		}
+		out = append(out, pts[off:off+n])
+		off += n
+	}
+	return out, nil
+}
