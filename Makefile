@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race torture fuzz fuzz-restore bench bench-write bench-range bench-snapshot backup obs docslint
+.PHONY: verify race torture fuzz fuzz-restore fuzz-bulkload bench bench-write bench-range bench-snapshot bench-ingest backup obs docslint
 
 # The standard verification gate: static checks, build, full test suite
 # (including the runnable godoc examples), the documentation lint (every
@@ -11,15 +11,17 @@ GO ?= go
 # path (TestGroupCommit* in internal/wal, TestConcurrentBatch* in
 # internal/bvtree), the instrumentation path (TestConcurrentMetrics),
 # the histogram core (TestConcurrentHistogram in internal/obs) and the
-# parallel range-query engine (TestParallelRange* in internal/bvtree)
-# and the MVCC snapshot/backup differential tests (TestSnapshot* in
-# internal/bvtree).
+# parallel range-query engine (TestParallelRange* in internal/bvtree),
+# the MVCC snapshot/backup differential tests (TestSnapshot* in
+# internal/bvtree) and the write-buffer battery (TestBuffered* in
+# internal/bvtree: the differential programs, the crash sweeps and the
+# concurrent buffered-access stress).
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) run ./cmd/docslint
-	$(GO) test -race -run 'TestConcurrent|TestGroupCommit|TestParallelRange|TestSnapshot' ./internal/bvtree ./internal/storage ./internal/wal ./internal/obs
+	$(GO) test -race -run 'TestConcurrent|TestGroupCommit|TestParallelRange|TestSnapshot|TestBuffered' ./internal/bvtree ./internal/storage ./internal/wal ./internal/obs
 
 # Full suite under the race detector, including the reader/writer stress
 # tests (TestConcurrent*) added with the parallel read path.
@@ -70,6 +72,20 @@ backup:
 # BENCH_snapshot.json. See DESIGN.md §12.
 bench-snapshot:
 	$(GO) run ./cmd/bvbench -snapshot -writers 4 -writer-ops 3000
+
+# Write-optimized ingestion: durable single-writer load under per-op
+# inserts, z-sorted batches, batches into a write-buffered tree, and the
+# sampling-based parallel BulkLoad; regenerates BENCH_ingest.json.
+# Parallel rows are flagged saturated when GOMAXPROCS < 2. See
+# DESIGN.md §13.
+bench-ingest:
+	$(GO) run ./cmd/bvbench -ingest
+
+# Coverage-guided fuzzing of the packed bulk loader: arbitrary byte-
+# derived point sets must load into a tree that passes the full
+# invariant check and scans back to exactly the input multiset.
+fuzz-bulkload:
+	$(GO) test -run '^$$' -fuzz=FuzzBulkLoad -fuzztime=30s ./internal/bvtree
 
 # Observability overhead: per-op cost of Lookup/Insert with metrics and
 # tracing off/on (budget: ≤5% per enabled op, 0 when off); regenerates

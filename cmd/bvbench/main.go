@@ -9,6 +9,7 @@
 //	bvbench -writepath [-writers 8] [-writer-ops 2000] [-json BENCH_writepath.json]
 //	bvbench -snapshot [-writers 4] [-writer-ops 4000] [-json BENCH_snapshot.json]
 //	bvbench -rangequery [-range-workers 1,2,4,8] [-json BENCH_rangequery.json]
+//	bvbench -ingest [-ingest-n 20000] [-json BENCH_ingest.json]
 //	bvbench -obs [-json BENCH_obs.json]
 //	bvbench -debug-addr localhost:6060 [-hold 10m]
 //
@@ -26,7 +27,10 @@
 // writer-stall percentiles per phase to BENCH_snapshot.json. The -rangequery mode compares the serial
 // range walk against the parallel range engine across a selectivity
 // sweep on a file-backed 500k-point tree and writes
-// BENCH_rangequery.json. The -obs mode prices the observability
+// BENCH_rangequery.json. The -ingest mode compares single-writer durable
+// ingestion disciplines — per-op inserts, z-sorted batches, batches into
+// a write-buffered tree, and the parallel BulkLoad — and writes
+// BENCH_ingest.json. The -obs mode prices the observability
 // layer (instrumentation off vs metrics vs metrics+tracer) and writes
 // BENCH_obs.json. -debug-addr serves expvar (with the live tree metrics
 // under the "bvtree" key) and net/http/pprof over a demo workload.
@@ -57,6 +61,8 @@ func main() {
 		writers   = flag.Int("writers", 8, "concurrent writer goroutines for -writepath / -snapshot")
 		writerOps = flag.Int("writer-ops", 2000, "inserts per writer for -writepath / -snapshot")
 		rangeQ    = flag.Bool("rangequery", false, "run the parallel range-query benchmark")
+		ingest    = flag.Bool("ingest", false, "run the write-optimized ingestion benchmark")
+		ingestN   = flag.Int("ingest-n", 20000, "points to load per mode for -ingest")
 		rangeWk   = flag.String("range-workers", "1,2,4,8", "comma-separated worker counts for -rangequery (1 = serial walk)")
 		obsBench  = flag.Bool("obs", false, "run the observability-overhead benchmark")
 		debugAddr = flag.String("debug-addr", "", "serve expvar+pprof on this address over a demo workload")
@@ -80,6 +86,16 @@ func main() {
 			os.Exit(1)
 		}
 		writeJSON(rep, *jsonPath, "BENCH_obs.json")
+		return
+	}
+
+	if *ingest {
+		rep, err := bench.RunIngest(os.Stdout, *ingestN)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bvbench: ingest: %v\n", err)
+			os.Exit(1)
+		}
+		writeJSON(rep, *jsonPath, "BENCH_ingest.json")
 		return
 	}
 

@@ -21,12 +21,16 @@ func (t *Tree) Delete(p geometry.Point, payload uint64) (bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	defer t.endOp()
+	del := t.deleteLocked
+	if t.buf != nil {
+		del = t.bufferedDelete
+	}
 	m, tr := t.metrics, t.tracer
 	if m == nil && tr == nil {
-		return t.deleteLocked(p, payload)
+		return del(p, payload)
 	}
 	start := time.Now()
-	removed, err := t.deleteLocked(p, payload)
+	removed, err := del(p, payload)
 	dur := time.Since(start)
 	if m != nil {
 		m.Delete.Observe(int64(dur))

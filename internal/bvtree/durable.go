@@ -87,6 +87,14 @@ type DurableOptions struct {
 	// latency, group-commit batch shape, checkpoint cost), reported by
 	// (*DurableTree).Metrics.
 	Metrics bool
+	// BufferOps, when positive, attaches a write buffer of that many
+	// operations per index-node group to the tree (see Options.BufferOps).
+	// Durability is unchanged — every operation is WAL-logged and acked
+	// only after its group fsync, whether it is buffered or applied; crash
+	// recovery replays the log, which re-executes buffered-but-unflushed
+	// operations. On reopen the buffer is enabled only after replay
+	// completes, so recovery itself runs unbuffered.
+	BufferOps int
 }
 
 // NewDurable creates a durable tree over a fresh store, logging to
@@ -116,6 +124,9 @@ func NewDurableLog(st storage.Store, l *wal.Log, opt Options) (*DurableTree, err
 func NewDurableLogOpts(st storage.Store, l *wal.Log, opt Options, dopt DurableOptions) (*DurableTree, error) {
 	if dopt.Metrics {
 		opt.Metrics = true
+	}
+	if dopt.BufferOps > 0 {
+		opt.BufferOps = dopt.BufferOps
 	}
 	tr, err := NewPaged(st, opt)
 	if err != nil {
@@ -197,6 +208,14 @@ func OpenDurableLogOpts(st storage.Store, l *wal.Log, cacheNodes int, dopt Durab
 		return nil, fmt.Errorf("bvtree: %w: wal epoch %d ahead of store checkpoint epoch %d", wal.ErrCorrupt, l.Epoch(), tr.Epoch())
 	}
 	tr.setBaseLSN(d.lsn)
+	if dopt.BufferOps > 0 {
+		// Enabled only now: replay above ran unbuffered, so the recovered
+		// state is fully applied before any new operation can be deferred.
+		if err := tr.EnableBuffer(dopt.BufferOps); err != nil {
+			l.Close()
+			return nil, err
+		}
+	}
 	d.gc = wal.NewGroupCommitter(l, dopt.Group)
 	if dopt.Metrics {
 		tr.EnableMetrics()
@@ -377,6 +396,49 @@ func (d *DurableTree) ApplyBatch(ops []BatchOp) error {
 	return werr
 }
 
+// BulkLoad logs points[i]/payloads[i] as one group-committed batch of
+// insert records and loads them through the tree's bulk path (packed
+// bottom-up build on an empty tree, z-ordered batch apply otherwise). It
+// returns once the whole batch is durable. Crash recovery replays the
+// records individually — the rebuilt tree holds the same item multiset,
+// though not necessarily the same page layout, as the bulk build.
+func (d *DurableTree) BulkLoad(points []geometry.Point, payloads []uint64) error {
+	if len(points) != len(payloads) {
+		return fmt.Errorf("bvtree: BulkLoad: %d points but %d payloads", len(points), len(payloads))
+	}
+	if len(points) == 0 {
+		return nil
+	}
+	bufs := make([]*[]byte, len(points))
+	recs := make([][]byte, len(points))
+	for i := range points {
+		bufs[i] = encodeOp(opInsert, points[i], payloads[i])
+		recs[i] = *bufs[i]
+	}
+	release := func() {
+		for _, bp := range bufs {
+			putRec(bp)
+		}
+	}
+	d.mu.Lock()
+	t, err := d.gc.EnqueueBatch(recs)
+	if err != nil {
+		d.mu.Unlock()
+		release()
+		return err
+	}
+	d.lsn += uint64(len(recs))
+	aerr := d.Tree.BulkLoad(points, payloads)
+	d.kickIfLogFull()
+	d.mu.Unlock()
+	werr := d.gc.Wait(t)
+	release()
+	if aerr != nil {
+		return aerr
+	}
+	return werr
+}
+
 // Checkpoint persists the tree state under a new checkpoint epoch and
 // empties the log. After a successful checkpoint, recovery starts from
 // this state. The ordering is crash-safe at every point: the store flush
@@ -475,7 +537,11 @@ func (d *DurableTree) LSN() uint64 {
 // stream format.
 func (d *DurableTree) SnapshotBackup(w io.Writer) (uint64, error) {
 	d.mu.Lock()
-	s, err := d.Tree.Snapshot()
+	// snapshotFlushed drains any write buffer inside the pin's critical
+	// section; d.mu blocks all mutations meanwhile, so the pinned pages
+	// are exactly the effect of operations 1..lsn — including ones that
+	// were buffered when the call arrived.
+	s, err := d.Tree.snapshotFlushed()
 	if err != nil {
 		d.mu.Unlock()
 		return 0, err

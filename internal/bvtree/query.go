@@ -81,10 +81,19 @@ func (t *Tree) rangeWorkers(override int) int {
 
 // rangeQueryLocked is the query body, run on a pinned immutable view
 // (or with the shared lock held, when the receiver is itself a view).
-// workers <= 1 runs the serial reference walk; otherwise the
-// breadth-first descent engages the parallel engine once the frontier
-// shows real fan-out.
+// A view carrying a buffered-write overlay takes the merging wrapper;
+// everything else runs the raw traversal directly.
 func (t *Tree) rangeQueryLocked(rect geometry.Rect, visit Visitor, workers int) error {
+	if ov := t.bov; ov != nil {
+		return t.rangeQueryOverlay(ov, rect, visit, workers)
+	}
+	return t.rangeQueryRaw(rect, visit, workers)
+}
+
+// rangeQueryRaw is the overlay-free traversal: workers <= 1 runs the
+// serial reference walk; otherwise the breadth-first descent engages
+// the parallel engine once the frontier shows real fan-out.
+func (t *Tree) rangeQueryRaw(rect geometry.Rect, visit Visitor, workers int) error {
 	if rect.Dims() != t.opt.Dims {
 		return fmt.Errorf("bvtree: query rect has %d dims, tree has %d", rect.Dims(), t.opt.Dims)
 	}
@@ -369,8 +378,22 @@ type countScratch struct {
 	coords   []uint64
 }
 
-// countLocked is the count body (shared lock held).
+// countLocked is the count body (shared lock held). On a view with a
+// buffered-write overlay the raw count is corrected by the overlay's
+// exact delta (capped deletes make it exact; see buffer.go).
 func (t *Tree) countLocked(rect geometry.Rect, workers int) (int64, error) {
+	if ov := t.bov; ov != nil {
+		n, err := t.countRaw(rect, workers)
+		if err != nil {
+			return 0, err
+		}
+		return n + ov.countDelta(rect), nil
+	}
+	return t.countRaw(rect, workers)
+}
+
+// countRaw is the overlay-free count traversal.
+func (t *Tree) countRaw(rect geometry.Rect, workers int) (int64, error) {
 	if rect.Dims() != t.opt.Dims {
 		return 0, fmt.Errorf("bvtree: query rect has %d dims, tree has %d", rect.Dims(), t.opt.Dims)
 	}

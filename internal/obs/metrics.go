@@ -27,6 +27,8 @@ type TreeCounters struct {
 	RangeTasks      Counter
 	RangeFullPages  Counter
 	RangeBatchPages Counter
+	BufferedOps     Counter
+	BufferFlushes   Counter
 }
 
 // TreeCountersSnapshot is a point-in-time copy of TreeCounters.
@@ -62,6 +64,12 @@ type TreeCountersSnapshot struct {
 	// RangeBatchPages counts data pages the range engine fetched through
 	// the store's batched read seam instead of point reads.
 	RangeBatchPages uint64 `json:"range_batch_pages"`
+	// BufferedOps counts mutations absorbed by the write buffer instead
+	// of descending immediately (zero when buffering is off).
+	BufferedOps uint64 `json:"buffered_ops"`
+	// BufferFlushes counts buffer drains: a full per-node buffer flushing
+	// downward, or an explicit/implicit FlushBuffer.
+	BufferFlushes uint64 `json:"buffer_flushes"`
 }
 
 // Snapshot copies the counters.
@@ -80,6 +88,8 @@ func (c *TreeCounters) Snapshot() TreeCountersSnapshot {
 		RangeTasks:      c.RangeTasks.Load(),
 		RangeFullPages:  c.RangeFullPages.Load(),
 		RangeBatchPages: c.RangeBatchPages.Load(),
+		BufferedOps:     c.BufferedOps.Load(),
+		BufferFlushes:   c.BufferFlushes.Load(),
 	}
 }
 
@@ -98,6 +108,7 @@ type TreeMetrics struct {
 	GuardSet     Histogram // max guard-set size per descent (sampled; paper bound: ≤ x−1)
 	BatchSize    Histogram // operations per applied batch
 	RangeFanout  Histogram // qualifying children per parallel range-engine task
+	FlushBatch   Histogram // live operations applied per buffer flush
 
 	descentSeq atomic.Uint64 // drives the 1-in-descentSampleRate shape sampling
 }
@@ -141,6 +152,7 @@ type TreeSnapshot struct {
 	GuardSet     HistogramSnapshot `json:"guard_set"`
 	BatchSize    HistogramSnapshot `json:"batch_size"`
 	RangeFanout  HistogramSnapshot `json:"range_fanout"`
+	FlushBatch   HistogramSnapshot `json:"flush_batch"`
 }
 
 // Snapshot summarises the histograms.
@@ -157,6 +169,7 @@ func (m *TreeMetrics) Snapshot() TreeSnapshot {
 		GuardSet:       m.GuardSet.Snapshot(),
 		BatchSize:      m.BatchSize.Snapshot(),
 		RangeFanout:    m.RangeFanout.Snapshot(),
+		FlushBatch:     m.FlushBatch.Snapshot(),
 	}
 }
 
