@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race torture fuzz fuzz-restore fuzz-bulkload bench bench-write bench-range bench-snapshot bench-ingest backup obs docslint
+.PHONY: verify race torture fuzz fuzz-restore fuzz-bulkload bench bench-write bench-range bench-snapshot bench-ingest bench-node backup obs docslint
 
 # The standard verification gate: static checks, build, full test suite
 # (including the runnable godoc examples), the documentation lint (every
@@ -15,13 +15,15 @@ GO ?= go
 # the MVCC snapshot/backup differential tests (TestSnapshot* in
 # internal/bvtree) and the write-buffer battery (TestBuffered* in
 # internal/bvtree: the differential programs, the crash sweeps and the
-# concurrent buffered-access stress).
+# concurrent buffered-access stress) and the columnar node-layout smoke
+# (TestColumnar* in internal/bvtree: concurrent batched reads against a
+# writer driving gap appends and mirror rebuilds).
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) run ./cmd/docslint
-	$(GO) test -race -run 'TestConcurrent|TestGroupCommit|TestParallelRange|TestSnapshot|TestBuffered' ./internal/bvtree ./internal/storage ./internal/wal ./internal/obs
+	$(GO) test -race -run 'TestConcurrent|TestGroupCommit|TestParallelRange|TestSnapshot|TestBuffered|TestColumnar' ./internal/bvtree ./internal/storage ./internal/wal ./internal/obs
 
 # Full suite under the race detector, including the reader/writer stress
 # tests (TestConcurrent*) added with the parallel read path.
@@ -80,6 +82,13 @@ bench-snapshot:
 # DESIGN.md §13.
 bench-ingest:
 	$(GO) run ./cmd/bvbench -ingest
+
+# Columnar node layout: descent, range and nearest hot paths with the
+# batched column predicates live vs forced onto the pre-columnar scalar
+# scans (same in-memory tree workload, interleaved rounds, best-round
+# floors); regenerates BENCH_nodelayout.json. See DESIGN.md §14.
+bench-node:
+	$(GO) run ./cmd/bvbench -nodelayout
 
 # Coverage-guided fuzzing of the packed bulk loader: arbitrary byte-
 # derived point sets must load into a tree that passes the full

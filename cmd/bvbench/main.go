@@ -11,6 +11,7 @@
 //	bvbench -rangequery [-range-workers 1,2,4,8] [-json BENCH_rangequery.json]
 //	bvbench -ingest [-ingest-n 20000] [-json BENCH_ingest.json]
 //	bvbench -obs [-json BENCH_obs.json]
+//	bvbench -nodelayout [-json BENCH_nodelayout.json]
 //	bvbench -debug-addr localhost:6060 [-hold 10m]
 //
 // Each experiment prints the rows/series of the corresponding paper
@@ -32,7 +33,9 @@
 // a write-buffered tree, and the parallel BulkLoad — and writes
 // BENCH_ingest.json. The -obs mode prices the observability
 // layer (instrumentation off vs metrics vs metrics+tracer) and writes
-// BENCH_obs.json. -debug-addr serves expvar (with the live tree metrics
+// BENCH_obs.json. The -nodelayout mode measures the columnar node
+// layout (batched column predicates) against the pre-columnar scalar
+// scans on one in-memory workload and writes BENCH_nodelayout.json. -debug-addr serves expvar (with the live tree metrics
 // under the "bvtree" key) and net/http/pprof over a demo workload.
 package main
 
@@ -65,6 +68,7 @@ func main() {
 		ingestN   = flag.Int("ingest-n", 20000, "points to load per mode for -ingest")
 		rangeWk   = flag.String("range-workers", "1,2,4,8", "comma-separated worker counts for -rangequery (1 = serial walk)")
 		obsBench  = flag.Bool("obs", false, "run the observability-overhead benchmark")
+		nodeLay   = flag.Bool("nodelayout", false, "run the columnar node-layout benchmark")
 		debugAddr = flag.String("debug-addr", "", "serve expvar+pprof on this address over a demo workload")
 		hold      = flag.Duration("hold", 0, "how long -debug-addr serves (0 = until killed)")
 		jsonPath  = flag.String("json", "", "output file for the -concurrency / -writepath / -obs report")
@@ -76,6 +80,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bvbench: debug server: %v\n", err)
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *nodeLay {
+		rep, err := bench.RunNodeLayout(os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bvbench: nodelayout: %v\n", err)
+			os.Exit(1)
+		}
+		writeJSON(rep, *jsonPath, "BENCH_nodelayout.json")
 		return
 	}
 

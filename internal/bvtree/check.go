@@ -106,6 +106,9 @@ func (w *walker) index(id page.ID, wantLevel int, viaNode page.ID, key region.Bi
 	if err != nil {
 		return fmt.Errorf("bvtree: node %d (via %d): %w", id, viaNode, err)
 	}
+	if err := n.CheckCols(w.t.opt.Dims); err != nil {
+		return fmt.Errorf("bvtree: node %d (via %d): %w", id, viaNode, err)
+	}
 	if n.Level != wantLevel {
 		return fmt.Errorf("bvtree: node %d has level %d, entry says %d", id, n.Level, wantLevel)
 	}
@@ -151,6 +154,9 @@ func (w *walker) data(id page.ID, key region.BitString) error {
 	}
 	if !dp.Region.Equal(key) {
 		return fmt.Errorf("bvtree: data page %d region %v does not match entry key %v", id, dp.Region, key)
+	}
+	if err := dp.CheckDataCols(w.t.opt.Dims); err != nil {
+		return fmt.Errorf("bvtree: data page %d: %w", id, err)
 	}
 	for _, it := range dp.Items {
 		a, err := w.t.addr(it.Point)

@@ -278,6 +278,7 @@ func (t *Tree) placeEntry(ctx *opCtx, startID page.ID, e page.Entry) (int, error
 		return 0, err
 	}
 	var guards []*guardRef
+	tk := page.MakePointKey(e.Key)
 	for {
 		if n.Level == e.Level+1 || needsGuard(n, e) {
 			return n.Level, t.insertIntoNode(ctx, cur, e)
@@ -288,23 +289,9 @@ func (t *Tree) placeEntry(ctx *opCtx, startID page.ID, e page.Entry) (int, error
 		if guards == nil {
 			guards = make([]*guardRef, n.Level)
 		}
-		// Merge matching guards of this node into the placement guard set.
-		for i := range n.Entries {
-			en := &n.Entries[i]
-			if en.Level < n.Level-1 && en.Level < len(guards) && en.Key.IsPrefixOf(e.Key) {
-				g := guards[en.Level]
-				if g == nil || en.Key.Len() > g.entry.Key.Len() {
-					guards[en.Level] = &guardRef{entry: *en, srcID: cur, srcIdx: i}
-				}
-			}
-		}
-		bestIdx, bestLen := -1, -1
-		for i := range n.Entries {
-			en := &n.Entries[i]
-			if en.Level == n.Level-1 && en.Key.Len() > bestLen && en.Key.IsPrefixOf(e.Key) {
-				bestIdx, bestLen = i, en.Key.Len()
-			}
-		}
+		// The same fused guard-merge + best-match pass as the point
+		// descent, with e's own key as the target.
+		bestIdx, bestLen := t.scanDescendNode(n, cur, tk, e.Key, guards)
 		g := guards[n.Level-1]
 		guards[n.Level-1] = nil
 		var next page.ID
@@ -432,7 +419,13 @@ func (t *Tree) insertIntoNode(ctx *opCtx, id page.ID, e page.Entry) error {
 	if err != nil {
 		return err
 	}
-	n.Entries = append(n.Entries, e)
+	// Gapped append: the entry lands in the node's slot gap, and the
+	// columnar mirror advances in lockstep, so a split-free insert moves
+	// no existing entry storage. A full gap reports a move and the
+	// SaveIndex below rebuilds the mirror with fresh slack.
+	if n.AppendEntry(e) {
+		t.stats.NodeGapMoves.Inc()
+	}
 	if err := t.st.SaveIndex(id, n); err != nil {
 		return err
 	}

@@ -369,6 +369,9 @@ func (s *snapNodes) Index(id page.ID) (*page.IndexNode, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bvtree: decode index page %d: %w", id, err)
 		}
+		// Private decode (never admitted to the shared cache): give it
+		// its columnar mirror too, so pinned traversals batch as well.
+		n.SyncCols(s.pn.dims)
 		return n, nil
 	}
 	n, err := s.ns.Index(id)

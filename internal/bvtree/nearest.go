@@ -112,12 +112,29 @@ func (t *Tree) nearestRaw(p geometry.Point, k int) ([]Neighbor, error) {
 			return nil, err
 		}
 		pfIDs = pfIDs[:0]
-		for _, e := range n.Entries {
-			brick := region.Brick(e.Key, t.opt.Dims)
-			d := minDistToRect(p, brick)
-			if d <= worst() {
-				heap.Push(pq, distItem{dist: d, id: e.Child, level: e.Level})
-				pfIDs = append(pfIDs, e.Child)
+		if c := n.Cols(); c != nil && !t.opt.ScalarNodeScan {
+			// Batched path: the mirror already holds each entry's brick
+			// bounds deinterleaved, so the lower bound is two compares and
+			// two multiplies per dimension instead of re-deriving the brick
+			// from the bit string (which allocates twice per entry).
+			t.stats.BatchTests.Inc()
+			dims := t.opt.Dims
+			for i := 0; i < c.Len(); i++ {
+				emin, emax := c.BoundsAt(i)
+				d := minDistToBounds(p, emin, emax, dims)
+				if d <= worst() {
+					heap.Push(pq, distItem{dist: d, id: c.Child(i), level: c.Level(i)})
+					pfIDs = append(pfIDs, c.Child(i))
+				}
+			}
+		} else {
+			for _, e := range n.Entries {
+				brick := region.Brick(e.Key, t.opt.Dims)
+				d := minDistToRect(p, brick)
+				if d <= worst() {
+					heap.Push(pq, distItem{dist: d, id: e.Child, level: e.Level})
+					pfIDs = append(pfIDs, e.Child)
+				}
 			}
 		}
 		if t.bsrc != nil && len(pfIDs) > 1 {
@@ -142,6 +159,23 @@ func pointDist(a, b geometry.Point) float64 {
 			diff = float64(a[d] - b[d])
 		} else {
 			diff = float64(b[d] - a[d])
+		}
+		s += diff * diff
+	}
+	return math.Sqrt(s)
+}
+
+// minDistToBounds is minDistToRect over a columnar bounds row
+// (min = b[:dims], max = b[dims:] as returned by NodeCols.BoundsAt).
+func minDistToBounds(p geometry.Point, min, max []uint64, dims int) float64 {
+	s := 0.0
+	for d := 0; d < dims; d++ {
+		var diff float64
+		switch {
+		case p[d] < min[d]:
+			diff = float64(min[d] - p[d])
+		case p[d] > max[d]:
+			diff = float64(p[d] - max[d])
 		}
 		s += diff * diff
 	}

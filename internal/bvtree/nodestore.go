@@ -45,10 +45,11 @@ type memNodes struct {
 	mu    sync.RWMutex
 	nodes map[page.ID]interface{}
 	next  page.ID
+	dims  int
 }
 
-func newMemNodes() *memNodes {
-	return &memNodes{nodes: make(map[page.ID]interface{}), next: 1}
+func newMemNodes(dims int) *memNodes {
+	return &memNodes{nodes: make(map[page.ID]interface{}), next: 1, dims: dims}
 }
 
 func (m *memNodes) AllocIndex(level int, reg region.BitString) (page.ID, *page.IndexNode, error) {
@@ -92,6 +93,10 @@ func (m *memNodes) Data(id page.ID) (*page.DataPage, error) {
 }
 
 func (m *memNodes) SaveIndex(id page.ID, n *page.IndexNode) error {
+	// Saves are the publication point of every entry-slice mutation, so
+	// this is where the columnar mirror is brought back in lockstep (a
+	// no-op when AppendEntry kept it fresh).
+	n.SyncCols(m.dims)
 	m.mu.Lock()
 	m.nodes[id] = n
 	m.mu.Unlock()
@@ -99,6 +104,7 @@ func (m *memNodes) SaveIndex(id page.ID, n *page.IndexNode) error {
 }
 
 func (m *memNodes) SaveData(id page.ID, p *page.DataPage) error {
+	p.SyncDataCols(m.dims)
 	m.mu.Lock()
 	m.nodes[id] = p
 	m.mu.Unlock()
@@ -261,6 +267,10 @@ func (s *pagedNodes) Index(id page.ID) (*page.IndexNode, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bvtree: decode index page %d: %w", id, err)
 	}
+	// Build the columnar mirror before the node becomes visible through
+	// the cache: readers never build columns themselves (racing decodes
+	// each sync their own private copy; the last cachePut wins whole).
+	n.SyncCols(s.dims)
 	s.cachePut(id, n)
 	return n, nil
 }
@@ -280,6 +290,9 @@ func (s *pagedNodes) Data(id page.ID) (*page.DataPage, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bvtree: decode data page %d: %w", id, err)
 	}
+	// Same publication rule as Index: the coordinate mirror is built
+	// before the page becomes visible through the cache.
+	p.SyncDataCols(s.dims)
 	s.cachePut(id, p)
 	return p, nil
 }
@@ -357,11 +370,13 @@ func (s *pagedNodes) prefetch(ids []page.ID, scratch []page.ID) []page.ID {
 }
 
 func (s *pagedNodes) SaveIndex(id page.ID, n *page.IndexNode) error {
+	n.SyncCols(s.dims)
 	s.cachePut(id, n)
 	return s.st.WriteNode(id, page.EncodeIndex(n))
 }
 
 func (s *pagedNodes) SaveData(id page.ID, p *page.DataPage) error {
+	p.SyncDataCols(s.dims)
 	s.cachePut(id, p)
 	return s.st.WriteNode(id, page.EncodeData(p, s.dims))
 }

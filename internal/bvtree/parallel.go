@@ -1,13 +1,13 @@
 package bvtree
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
 	"bvtree/internal/geometry"
 	"bvtree/internal/obs"
 	"bvtree/internal/page"
-	"bvtree/internal/region"
 )
 
 // This file is the parallel range-query engine. A range query whose
@@ -294,53 +294,30 @@ func (e *rangeEngine) runTaskTree(root rangeTask, w *rangeScratch) {
 	w.local = local[:0]
 }
 
-// qualifyEntry reports whether an entry's subtree intersects the query
-// rectangle and whether it is fully contained in it. A contained parent
-// contains every descendant, so parentFull short-circuits both tests.
-func (e *rangeEngine) qualifyEntry(en *page.Entry, parentFull bool) (qualifies, full bool) {
-	if parentFull {
-		return true, true
-	}
-	// Intersection first: the reject path is the common one (see
-	// qualifyRange).
-	if !region.BrickIntersects(en.Key, e.dims, e.rect) {
-		return false, false
-	}
-	return true, region.BrickWithin(en.Key, e.dims, e.rect)
-}
-
-// runTask qualifies one index node's entries, pushes its qualifying
-// index children onto the caller's descent stack, and scans its
-// qualifying data children through the batched read seam.
+// runTask qualifies one index node's entries (through splitQualify,
+// the filter shared with the serial walks — batched over the columnar
+// mirror when the node has one), pushes its qualifying index children
+// onto the caller's descent stack, and scans its qualifying data
+// children through the batched read seam.
 func (e *rangeEngine) runTask(task rangeTask, w *rangeScratch, local []rangeTask) ([]rangeTask, error) {
 	n, err := e.t.fetchIndex(task.id)
 	if err != nil {
 		return local, err
 	}
 	e.t.stats.RangeTasks.Inc()
-	w.dataIDs, w.dataFull, w.idxIDs = w.dataIDs[:0], w.dataFull[:0], w.idxIDs[:0]
-	nqual := 0
-	for i := range n.Entries {
-		en := &n.Entries[i]
-		q, full := e.qualifyEntry(en, task.full)
-		if !q {
-			continue
-		}
-		nqual++
-		if en.Level == 0 {
-			w.dataIDs = append(w.dataIDs, en.Child)
-			w.dataFull = append(w.dataFull, full)
-		} else {
-			w.idxIDs = append(w.idxIDs, en.Child)
-			local = append(local, rangeTask{id: en.Child, level: en.Level, full: full})
-		}
-	}
+	lo := len(local)
+	var nqual int
+	w.dataIDs, w.dataFull, local, nqual = e.t.splitQualify(n, task.full, e.rect, w.dataIDs[:0], w.dataFull[:0], local)
 	if m := e.metrics; m != nil {
 		m.RangeFanout.Observe(int64(nqual))
 	}
 	// Hint the pager at the index children first: their I/O warms while
 	// this worker scans the data children below.
-	if pn := e.t.bsrc; pn != nil && len(w.idxIDs) > 0 {
+	if pn := e.t.bsrc; pn != nil && len(local) > lo {
+		w.idxIDs = w.idxIDs[:0]
+		for _, tk := range local[lo:] {
+			w.idxIDs = append(w.idxIDs, tk.id)
+		}
 		w.pf = pn.prefetch(w.idxIDs, w.pf)
 	}
 	return local, e.scanBatch(w)
@@ -361,7 +338,7 @@ func (e *rangeEngine) scanBatch(w *rangeScratch) error {
 			if err != nil {
 				return err
 			}
-			if err := e.emitItems(dp.Items, w.dataFull[i], w); err != nil {
+			if err := e.emitItems(dp, w.dataFull[i], w); err != nil {
 				return err
 			}
 		}
@@ -381,7 +358,7 @@ func (e *rangeEngine) scanBatch(w *rangeScratch) error {
 		}
 		e.t.stats.NodeAccesses.Inc()
 		if dp := w.pages[i]; dp != nil {
-			err = e.emitItems(dp.Items, w.dataFull[i], w)
+			err = e.emitItems(dp, w.dataFull[i], w)
 		} else {
 			err = e.emitBlob(w.blobs[i], w.dataFull[i], w)
 		}
@@ -393,11 +370,15 @@ func (e *rangeEngine) scanBatch(w *rangeScratch) error {
 }
 
 // emitItems counts, or appends to the worker's delivery buffer, one
-// decoded data page's matching items. The items of any page the pinned
-// view can reach are immutable for the duration of the query — a writer
-// that needs to change such a page captures it into its version chain
-// and mutates a clone — so copying them out here reads stable memory.
-func (e *rangeEngine) emitItems(items []page.Item, full bool, w *rangeScratch) error {
+// decoded data page's matching items — batched over the page's
+// coordinate mirror when it carries a fresh one. The items of any page
+// the pinned view can reach are immutable for the duration of the query
+// — a writer that needs to change such a page captures it into its
+// version chain and mutates a clone — so copying them out here reads
+// stable memory, and so the mirror a reachable page carries stays in
+// lockstep with its items.
+func (e *rangeEngine) emitItems(dp *page.DataPage, full bool, w *rangeScratch) error {
+	items := dp.Items
 	if full {
 		e.t.stats.RangeFullPages.Inc()
 		if e.counting {
@@ -405,6 +386,23 @@ func (e *rangeEngine) emitItems(items []page.Item, full bool, w *rangeScratch) e
 			return nil
 		}
 		w.out = append(w.out, items...)
+		return e.maybeFlush(w)
+	}
+	if c := dp.DCols(); c != nil && !e.t.opt.ScalarNodeScan {
+		e.t.stats.BatchTests.Inc()
+		if e.counting {
+			n := int64(0)
+			for base := 0; base < c.Len(); base += 64 {
+				n += int64(bits.OnesCount64(c.ContainMask64(e.rect, base)))
+			}
+			e.count.Add(n)
+			return nil
+		}
+		for base := 0; base < c.Len(); base += 64 {
+			for m := c.ContainMask64(e.rect, base); m != 0; m &= m - 1 {
+				w.out = append(w.out, items[base+bits.TrailingZeros64(m)])
+			}
+		}
 		return e.maybeFlush(w)
 	}
 	if e.counting {

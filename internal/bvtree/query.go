@@ -2,6 +2,7 @@ package bvtree
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"time"
 
@@ -97,12 +98,16 @@ func (t *Tree) rangeQueryRaw(rect geometry.Rect, visit Visitor, workers int) err
 	if rect.Dims() != t.opt.Dims {
 		return fmt.Errorf("bvtree: query rect has %d dims, tree has %d", rect.Dims(), t.opt.Dims)
 	}
+	// A rect covering the whole data space (Scan, and universe-sized
+	// windows) contains every brick, so the traversal can skip geometry
+	// tests from the root down.
+	full := region.BrickWithin(region.BitString{}, t.opt.Dims, rect)
 	if t.rootLevel == 0 {
-		_, err := t.scanData(t.root, rect, visit)
+		_, err := t.scanData(t.root, rect, visit, full)
 		return err
 	}
 	if workers <= 1 || !t.engineWorthwhile(rect) {
-		_, err := t.rangeNode(t.root, rect, visit)
+		_, err := t.rangeNode(t.root, rect, visit, full)
 		return err
 	}
 	return t.parallelRange(rect, visit, workers)
@@ -130,30 +135,56 @@ func (t *Tree) engineWorthwhile(rect geometry.Rect) bool {
 	return frac*float64(t.size) >= minEnginePages*float64(t.opt.DataCapacity)
 }
 
-// rangeNode is the serial reference walk: a plain recursive descent,
-// deliberately untouched by the engine's batching and containment
-// machinery so it remains the trusted baseline the differential tests
-// (and the engine's own speedup claims) compare against.
-func (t *Tree) rangeNode(id page.ID, rect geometry.Rect, visit Visitor) (bool, error) {
+// rangeNode is the serial range walk: a plain recursive descent in
+// entry order with early stop. On nodes carrying a fresh columnar
+// mirror the qualification runs as one batched Intersect64/Within64
+// pass per 64 entries, and subtrees whose brick lies inside rect
+// descend with full set, skipping every further geometry test; the
+// scalar fallback (stale mirror, or Options.ScalarNodeScan) tests
+// entries one at a time exactly as the pre-columnar walk did and never
+// sets full, so a ScalarNodeScan tree remains the trusted reference
+// the differential tests compare the columnar walk (and the engine)
+// against. Visit order and results are identical either way.
+func (t *Tree) rangeNode(id page.ID, rect geometry.Rect, visit Visitor, full bool) (bool, error) {
 	n, err := t.fetchIndex(id)
 	if err != nil {
 		return false, err
 	}
-	// Iterating n.Entries in place is safe on a pinned view: a node the
+	// Iterating the node in place is safe on a pinned view: a node the
 	// pin can still observe is never mutated — the first write to it
 	// captures it into its version chain and mutates a clone — and cache
 	// eviction only drops map references, never touches node objects.
+	if full {
+		for i := range n.Entries {
+			e := &n.Entries[i]
+			cont, err := t.rangeChild(e.Child, e.Level, rect, visit, true)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	if c := n.Cols(); c != nil && !t.opt.ScalarNodeScan {
+		t.stats.BatchTests.Inc()
+		for base := 0; base < c.Len(); base += 64 {
+			m := c.Intersect64(rect, base)
+			fm := c.Within64(rect, base, m)
+			for ; m != 0; m &= m - 1 {
+				i := base + bits.TrailingZeros64(m)
+				cont, err := t.rangeChild(c.Child(i), c.Level(i), rect, visit, fm&(m&-m) != 0)
+				if err != nil || !cont {
+					return cont, err
+				}
+			}
+		}
+		return true, nil
+	}
 	for i := range n.Entries {
 		e := &n.Entries[i]
 		if !region.BrickIntersects(e.Key, t.opt.Dims, rect) {
 			continue
 		}
-		var cont bool
-		if e.Level == 0 {
-			cont, err = t.scanData(e.Child, rect, visit)
-		} else {
-			cont, err = t.rangeNode(e.Child, rect, visit)
-		}
+		cont, err := t.rangeChild(e.Child, e.Level, rect, visit, false)
 		if err != nil || !cont {
 			return cont, err
 		}
@@ -161,19 +192,66 @@ func (t *Tree) rangeNode(id page.ID, rect geometry.Rect, visit Visitor) (bool, e
 	return true, nil
 }
 
-func (t *Tree) scanData(id page.ID, rect geometry.Rect, visit Visitor) (bool, error) {
+// rangeChild dispatches one qualifying entry of the serial walk.
+func (t *Tree) rangeChild(id page.ID, level int, rect geometry.Rect, visit Visitor, full bool) (bool, error) {
+	if level == 0 {
+		return t.scanData(id, rect, visit, full)
+	}
+	return t.rangeNode(id, rect, visit, full)
+}
+
+func (t *Tree) scanData(id page.ID, rect geometry.Rect, visit Visitor, full bool) (bool, error) {
 	dp, err := t.fetchData(id)
 	if err != nil {
 		return false, err
 	}
+	return t.scanDataPage(dp, rect, visit, full)
+}
+
+// scanDataPage emits a decoded page's matching items in item order: one
+// batched ContainMask64 pass per 64 items when the page carries a fresh
+// coordinate mirror, the per-item Rect.Contains test otherwise (stale
+// mirror, full pages, or Options.ScalarNodeScan).
+func (t *Tree) scanDataPage(dp *page.DataPage, rect geometry.Rect, visit Visitor, full bool) (bool, error) {
+	if c := dp.DCols(); !full && c != nil && !t.opt.ScalarNodeScan {
+		t.stats.BatchTests.Inc()
+		for base := 0; base < c.Len(); base += 64 {
+			for m := c.ContainMask64(rect, base); m != 0; m &= m - 1 {
+				it := &dp.Items[base+bits.TrailingZeros64(m)]
+				if !visit(it.Point, it.Payload) {
+					return false, nil
+				}
+			}
+		}
+		return true, nil
+	}
 	for _, it := range dp.Items {
-		if rect.Contains(it.Point) {
+		if full || rect.Contains(it.Point) {
 			if !visit(it.Point, it.Payload) {
 				return false, nil
 			}
 		}
 	}
 	return true, nil
+}
+
+// countDataPage is scanDataPage's count-only twin (full pages are
+// counted by the caller without touching items).
+func (t *Tree) countDataPage(dp *page.DataPage, rect geometry.Rect) int64 {
+	total := int64(0)
+	if c := dp.DCols(); c != nil && !t.opt.ScalarNodeScan {
+		t.stats.BatchTests.Inc()
+		for base := 0; base < c.Len(); base += 64 {
+			total += int64(bits.OnesCount64(c.ContainMask64(rect, base)))
+		}
+		return total
+	}
+	for _, it := range dp.Items {
+		if rect.Contains(it.Point) {
+			total++
+		}
+	}
+	return total
 }
 
 // qualifyRange reports whether an entry's subtree can hold matches and
@@ -191,6 +269,66 @@ func qualifyRange(en *page.Entry, parentFull bool, dims int, rect geometry.Rect)
 		return false, false
 	}
 	return true, region.BrickWithin(en.Key, dims, rect)
+}
+
+// splitQualify partitions the qualifying children of n against rect,
+// appending data pages to dataIDs/dataFull and index subtrees (with
+// their containment flags) to idx, and returns the extended slices plus
+// the number of qualifiers. It is the one copy of the entry-filter
+// logic previously repeated by the breadth-first expansions of
+// parallelRange and countRaw, the engine's runTask and the serial
+// count walk: batched Intersect64/Within64 passes over the columnar
+// mirror when the node has one, the scalar qualifyRange test per entry
+// otherwise. Appending to idx is stack-friendly: callers may treat idx
+// as a shared stack and truncate back to their own watermark.
+func (t *Tree) splitQualify(n *page.IndexNode, parentFull bool, rect geometry.Rect,
+	dataIDs []page.ID, dataFull []bool, idx []rangeTask) ([]page.ID, []bool, []rangeTask, int) {
+	nqual := 0
+	c := n.Cols()
+	if c == nil || t.opt.ScalarNodeScan {
+		for i := range n.Entries {
+			en := &n.Entries[i]
+			q, f := qualifyRange(en, parentFull, t.opt.Dims, rect)
+			if !q {
+				continue
+			}
+			nqual++
+			if en.Level == 0 {
+				dataIDs = append(dataIDs, en.Child)
+				dataFull = append(dataFull, f)
+			} else {
+				idx = append(idx, rangeTask{id: en.Child, level: en.Level, full: f})
+			}
+		}
+		return dataIDs, dataFull, idx, nqual
+	}
+	t.stats.BatchTests.Inc()
+	for base := 0; base < c.Len(); base += 64 {
+		var m, fm uint64
+		if parentFull {
+			cnt := c.Len() - base
+			if cnt > 64 {
+				cnt = 64
+			}
+			m = ^uint64(0) >> uint(64-cnt)
+			fm = m
+		} else {
+			m = c.Intersect64(rect, base)
+			fm = c.Within64(rect, base, m)
+		}
+		for ; m != 0; m &= m - 1 {
+			i := base + bits.TrailingZeros64(m)
+			f := fm&(m&-m) != 0
+			nqual++
+			if c.Level(i) == 0 {
+				dataIDs = append(dataIDs, c.Child(i))
+				dataFull = append(dataFull, f)
+			} else {
+				idx = append(idx, rangeTask{id: c.Child(i), level: c.Level(i), full: f})
+			}
+		}
+	}
+	return dataIDs, dataFull, idx, nqual
 }
 
 // parallelRange is the engine-path descent. It expands the tree
@@ -219,20 +357,7 @@ func (t *Tree) parallelRange(rect geometry.Rect, visit Visitor, workers int) err
 		if err != nil {
 			return err
 		}
-		dataIDs, dataFull = dataIDs[:0], dataFull[:0]
-		for i := range n.Entries {
-			en := &n.Entries[i]
-			q, f := qualifyRange(en, task.full, t.opt.Dims, rect)
-			if !q {
-				continue
-			}
-			if en.Level == 0 {
-				dataIDs = append(dataIDs, en.Child)
-				dataFull = append(dataFull, f)
-			} else {
-				frontier = append(frontier, rangeTask{id: en.Child, level: en.Level, full: f})
-			}
-		}
+		dataIDs, dataFull, frontier, _ = t.splitQualify(n, task.full, rect, dataIDs[:0], dataFull[:0], frontier)
 		if len(dataIDs) > 0 {
 			cont, err := t.scanDataSet(dataIDs, dataFull, rect, visit)
 			if err != nil || !cont {
@@ -262,12 +387,9 @@ func (t *Tree) scanDataSet(ids []page.ID, full []bool, rect geometry.Rect, visit
 			if full[i] {
 				t.stats.RangeFullPages.Inc()
 			}
-			for _, it := range dp.Items {
-				if full[i] || rect.Contains(it.Point) {
-					if !visit(it.Point, it.Payload) {
-						return false, nil
-					}
-				}
+			cont, err := t.scanDataPage(dp, rect, visit, full[i])
+			if err != nil || !cont {
+				return cont, err
 			}
 		}
 		return true, nil
@@ -286,17 +408,20 @@ func (t *Tree) scanDataSet(ids []page.ID, full []bool, rect geometry.Rect, visit
 	var coords []uint64
 	for i := range ids {
 		t.stats.NodeAccesses.Inc()
-		items := []page.Item(nil)
-		if dp := pages[i]; dp != nil {
-			items = dp.Items
-		} else {
-			items, coords, err = page.AppendDataItems(blobs[i], nil, coords)
-			if err != nil {
-				return false, err
-			}
-		}
 		if full[i] {
 			t.stats.RangeFullPages.Inc()
+		}
+		if dp := pages[i]; dp != nil {
+			cont, err := t.scanDataPage(dp, rect, visit, full[i])
+			if err != nil || !cont {
+				return cont, err
+			}
+			continue
+		}
+		var items []page.Item
+		items, coords, err = page.AppendDataItems(blobs[i], nil, coords)
+		if err != nil {
+			return false, err
 		}
 		for j := range items {
 			if full[i] || rect.Contains(items[j].Point) {
@@ -371,11 +496,16 @@ func (t *Tree) CountWorkers(rect geometry.Rect, workers int) (int, error) {
 type countScratch struct {
 	dataIDs  []page.ID
 	dataFull []bool
-	pages    []*page.DataPage
-	blobs    [][]byte
-	miss     []page.ID
-	items    []page.Item
-	coords   []uint64
+	// idx is the shared subtree stack of the recursive count walk: each
+	// countNode invocation appends its qualifying index children, then
+	// truncates back to its entry watermark (values survive deeper
+	// appends — see countNode).
+	idx    []rangeTask
+	pages  []*page.DataPage
+	blobs  [][]byte
+	miss   []page.ID
+	items  []page.Item
+	coords []uint64
 }
 
 // countLocked is the count body (shared lock held). On a view with a
@@ -416,20 +546,7 @@ func (t *Tree) countRaw(rect geometry.Rect, workers int) (int64, error) {
 		if err != nil {
 			return 0, err
 		}
-		cs.dataIDs, cs.dataFull = cs.dataIDs[:0], cs.dataFull[:0]
-		for i := range n.Entries {
-			en := &n.Entries[i]
-			q, f := qualifyRange(en, task.full, t.opt.Dims, rect)
-			if !q {
-				continue
-			}
-			if en.Level == 0 {
-				cs.dataIDs = append(cs.dataIDs, en.Child)
-				cs.dataFull = append(cs.dataFull, f)
-			} else {
-				frontier = append(frontier, rangeTask{id: en.Child, level: en.Level, full: f})
-			}
-		}
+		cs.dataIDs, cs.dataFull, frontier, _ = t.splitQualify(n, task.full, rect, cs.dataIDs[:0], cs.dataFull[:0], frontier)
 		if len(cs.dataIDs) > 0 {
 			sub, err := t.countDataSet(cs.dataIDs, cs.dataFull, rect, &cs)
 			if err != nil {
@@ -449,44 +566,38 @@ func (t *Tree) countRaw(rect geometry.Rect, workers int) (int64, error) {
 // countNode is the serial count-only traversal: the qualifying data
 // children of each node are counted through the batched read seam (a
 // fully contained page costs one item-count decode), then the index
-// children are recursed into. The scratch is safe to share with the
-// recursion because each node finishes its data pass before descending.
+// children are recursed into. The data scratch is safe to share with
+// the recursion because each node finishes its data pass before
+// descending; the subtree stack is shared by watermark — this node
+// re-reads its own stack entries by index after each child returns, and
+// children always truncate back to the length they found, so deeper
+// appends (even ones that relocate the backing array) never disturb
+// the pending entries above the watermark.
 func (t *Tree) countNode(id page.ID, full bool, rect geometry.Rect, cs *countScratch) (int64, error) {
 	n, err := t.fetchIndex(id)
 	if err != nil {
 		return 0, err
 	}
-	cs.dataIDs, cs.dataFull = cs.dataIDs[:0], cs.dataFull[:0]
-	for i := range n.Entries {
-		en := &n.Entries[i]
-		if en.Level != 0 {
-			continue
-		}
-		if q, f := qualifyRange(en, full, t.opt.Dims, rect); q {
-			cs.dataIDs = append(cs.dataIDs, en.Child)
-			cs.dataFull = append(cs.dataFull, f)
-		}
-	}
+	lo := len(cs.idx)
+	cs.dataIDs, cs.dataFull, cs.idx, _ = t.splitQualify(n, full, rect, cs.dataIDs[:0], cs.dataFull[:0], cs.idx)
 	total := int64(0)
 	if len(cs.dataIDs) > 0 {
 		total, err = t.countDataSet(cs.dataIDs, cs.dataFull, rect, cs)
 		if err != nil {
+			cs.idx = cs.idx[:lo]
 			return 0, err
 		}
 	}
-	for i := range n.Entries {
-		en := &n.Entries[i]
-		if en.Level == 0 {
-			continue
+	for k := lo; k < len(cs.idx); k++ {
+		task := cs.idx[k]
+		sub, err := t.countNode(task.id, task.full, rect, cs)
+		if err != nil {
+			cs.idx = cs.idx[:lo]
+			return 0, err
 		}
-		if q, f := qualifyRange(en, full, t.opt.Dims, rect); q {
-			sub, err := t.countNode(en.Child, f, rect, cs)
-			if err != nil {
-				return 0, err
-			}
-			total += sub
-		}
+		total += sub
 	}
+	cs.idx = cs.idx[:lo]
 	return total, nil
 }
 
@@ -508,11 +619,7 @@ func (t *Tree) countDataSet(ids []page.ID, full []bool, rect geometry.Rect, cs *
 				total += int64(len(dp.Items))
 				continue
 			}
-			for _, it := range dp.Items {
-				if rect.Contains(it.Point) {
-					total++
-				}
-			}
+			total += t.countDataPage(dp, rect)
 		}
 		return total, nil
 	}
@@ -532,11 +639,7 @@ func (t *Tree) countDataSet(ids []page.ID, full []bool, rect geometry.Rect, cs *
 				total += int64(len(dp.Items))
 				continue
 			}
-			for _, it := range dp.Items {
-				if rect.Contains(it.Point) {
-					total++
-				}
-			}
+			total += t.countDataPage(dp, rect)
 			continue
 		}
 		if full[i] {

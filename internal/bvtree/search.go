@@ -2,6 +2,7 @@ package bvtree
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"time"
 
@@ -113,6 +114,7 @@ func (t *Tree) descendPointInner(target region.BitString) (*descent, error) {
 		return d, nil
 	}
 	guards := d.guards // index = partition level
+	tk := page.MakePointKey(target)
 	cur := t.root
 	for level := t.rootLevel; level >= 1; level-- {
 		n, err := t.fetchIndex(cur)
@@ -122,17 +124,11 @@ func (t *Tree) descendPointInner(target region.BitString) (*descent, error) {
 		if n.Level != level {
 			return nil, fmt.Errorf("bvtree: node %d has index level %d, expected %d", cur, n.Level, level)
 		}
-		// Merge matching guards of this node into the guard set.
+		// One fused pass: merge matching guards into the guard set and
+		// find the best unpromoted match (batched over the columnar
+		// mirror when the node has one).
+		bestIdx, bestLen := t.scanDescendNode(n, cur, tk, target, guards)
 		live := 0
-		for i := range n.Entries {
-			e := &n.Entries[i]
-			if e.Level < level-1 && e.Key.IsPrefixOf(target) {
-				g := guards[e.Level]
-				if g == nil || e.Key.Len() > g.entry.Key.Len() {
-					guards[e.Level] = &guardRef{entry: *e, srcID: cur, srcIdx: i}
-				}
-			}
-		}
 		for _, g := range guards {
 			if g != nil {
 				live++
@@ -140,14 +136,6 @@ func (t *Tree) descendPointInner(target region.BitString) (*descent, error) {
 		}
 		if live > d.maxGuardSet {
 			d.maxGuardSet = live
-		}
-		// Best unpromoted match at this node.
-		bestIdx, bestLen := -1, -1
-		for i := range n.Entries {
-			e := &n.Entries[i]
-			if e.Level == level-1 && e.Key.Len() > bestLen && e.Key.IsPrefixOf(target) {
-				bestIdx, bestLen = i, e.Key.Len()
-			}
 		}
 		g := guards[level-1]
 		guards[level-1] = nil // consumed at this level either way
@@ -177,6 +165,57 @@ func (t *Tree) descendPointInner(target region.BitString) (*descent, error) {
 		cur = next
 	}
 	return d, nil
+}
+
+// scanDescendNode is the per-node pass of an exact-match descent,
+// shared by descendPointInner and placeEntry: entries whose key is a
+// prefix of the target are either merged into the per-level guard set
+// (promoted entries) or compete for the best unpromoted match. When
+// the node carries a fresh columnar mirror the prefix tests run as one
+// batched Match64 pass per 64 entries and the entry slice is only read
+// for the (few) matches; otherwise — stale mirror, or a tree running
+// with Options.ScalarNodeScan — it scans the entry slice exactly as
+// the pre-columnar code did.
+func (t *Tree) scanDescendNode(n *page.IndexNode, id page.ID, tk page.PointKey, target region.BitString, guards []*guardRef) (bestIdx, bestLen int) {
+	bestIdx, bestLen = -1, -1
+	lim := n.Level - 1
+	if c := n.Cols(); c != nil && !t.opt.ScalarNodeScan {
+		t.stats.BatchTests.Inc()
+		for base := 0; base < c.Len(); base += 64 {
+			for m := c.Match64(tk, base); m != 0; m &= m - 1 {
+				i := base + bits.TrailingZeros64(m)
+				switch lv := c.Level(i); {
+				case lv == lim:
+					if kb := c.KeyBits(i); kb > bestLen {
+						bestIdx, bestLen = i, kb
+					}
+				case lv < lim && lv < len(guards):
+					g := guards[lv]
+					if g == nil || c.KeyBits(i) > g.entry.Key.Len() {
+						guards[lv] = &guardRef{entry: n.Entries[i], srcID: id, srcIdx: i}
+					}
+				}
+			}
+		}
+		return bestIdx, bestLen
+	}
+	for i := range n.Entries {
+		e := &n.Entries[i]
+		switch {
+		case e.Level == lim:
+			if e.Key.Len() > bestLen && e.Key.IsPrefixOf(target) {
+				bestIdx, bestLen = i, e.Key.Len()
+			}
+		case e.Level < lim && e.Level < len(guards):
+			if e.Key.IsPrefixOf(target) {
+				g := guards[e.Level]
+				if g == nil || e.Key.Len() > g.entry.Key.Len() {
+					guards[e.Level] = &guardRef{entry: *e, srcID: id, srcIdx: i}
+				}
+			}
+		}
+	}
+	return bestIdx, bestLen
 }
 
 // Lookup returns the payloads of all stored items at exactly point p.
@@ -220,9 +259,20 @@ func (t *Tree) lookupLocked(p geometry.Point) ([]uint64, error) {
 		return nil, err
 	}
 	var out []uint64
-	for _, it := range dp.Items {
-		if it.Point.Equal(p) {
-			out = append(out, it.Payload)
+	if c := dp.DCols(); c != nil && !t.opt.ScalarNodeScan {
+		// Batched equality over the coordinate columns: the item slice is
+		// only touched for the (rare) exact matches.
+		t.stats.BatchTests.Inc()
+		for base := 0; base < c.Len(); base += 64 {
+			for m := c.EqualMask64(p, base); m != 0; m &= m - 1 {
+				out = append(out, dp.Items[base+bits.TrailingZeros64(m)].Payload)
+			}
+		}
+	} else {
+		for _, it := range dp.Items {
+			if it.Point.Equal(p) {
+				out = append(out, it.Payload)
+			}
 		}
 	}
 	// Merge buffered operations: pending deletes each suppress one

@@ -67,6 +67,13 @@ type Options struct {
 	// the applied state, so call FlushBuffer before relying on them.
 	// It can also be enabled (or resized) later with EnableBuffer.
 	BufferOps int
+	// ScalarNodeScan disables the columnar node layout on the hot paths:
+	// entries are tested one at a time through the BitString and brick
+	// primitives, exactly as before the struct-of-arrays mirror existed.
+	// It exists as the old-vs-new baseline of bvbench -nodelayout and as
+	// the reference mode of the columnar differential tests; production
+	// trees should leave it off.
+	ScalarNodeScan bool
 }
 
 func (o *Options) fill() error {
@@ -182,7 +189,7 @@ func New(opt Options) (*Tree, error) {
 	if err := opt.fill(); err != nil {
 		return nil, err
 	}
-	return newTree(newMemNodes(), nil, nil, opt)
+	return newTree(newMemNodes(opt.Dims), nil, nil, opt)
 }
 
 // metaPageID is the fixed page holding a paged tree's root record: the

@@ -29,6 +29,8 @@ type TreeCounters struct {
 	RangeBatchPages Counter
 	BufferedOps     Counter
 	BufferFlushes   Counter
+	BatchTests      Counter
+	NodeGapMoves    Counter
 }
 
 // TreeCountersSnapshot is a point-in-time copy of TreeCounters.
@@ -70,6 +72,13 @@ type TreeCountersSnapshot struct {
 	// BufferFlushes counts buffer drains: a full per-node buffer flushing
 	// downward, or an explicit/implicit FlushBuffer.
 	BufferFlushes uint64 `json:"buffer_flushes"`
+	// BatchTests counts batched predicate passes over a node's columnar
+	// mirror (one per node whose entries were tested as columns rather
+	// than entry by entry; zero when trees run with ScalarNodeScan).
+	BatchTests uint64 `json:"batch_tests"`
+	// NodeGapMoves counts appends that found no free gap slot and forced
+	// entry or column storage to move (reallocation or arena rebuild).
+	NodeGapMoves uint64 `json:"node_gap_moves"`
 }
 
 // Snapshot copies the counters.
@@ -90,6 +99,8 @@ func (c *TreeCounters) Snapshot() TreeCountersSnapshot {
 		RangeBatchPages: c.RangeBatchPages.Load(),
 		BufferedOps:     c.BufferedOps.Load(),
 		BufferFlushes:   c.BufferFlushes.Load(),
+		BatchTests:      c.BatchTests.Load(),
+		NodeGapMoves:    c.NodeGapMoves.Load(),
 	}
 }
 

@@ -1,0 +1,371 @@
+package page
+
+import (
+	"fmt"
+	"math/bits"
+
+	"bvtree/internal/geometry"
+	"bvtree/internal/region"
+)
+
+// This file gives IndexNode a columnar mirror of its entry slice: the
+// struct-of-arrays layout the descent and range hot paths scan instead
+// of the array-of-structs Entries. The wire format is untouched — the
+// mirror is derived state, rebuilt from Entries after a decode or a
+// save — and Entries stays authoritative, so every reader can fall
+// back to the entry slice whenever the mirror is absent or stale.
+//
+// Layout. One uint64 arena holds three fixed partitions — the head
+// words (the first 64 bits of each entry key, left-aligned), the brick
+// bounds (per entry: dims minima then dims maxima, the exact box
+// BrickBounds deinterleaves from the key), and a shared tail arena for
+// the rare key bits beyond the head — and one int32 arena holds the
+// entry levels, key bit lengths and tail offsets. Child IDs get their
+// own slice. Cloning the mirror is therefore a constant number of
+// allocations regardless of entry count.
+//
+// Gap policy. Both arenas are allocated with GapSlots of slack, so an
+// append lands in a free slot with no reallocation and no memmove of
+// the other entries' columns; only when the gap is exhausted does the
+// next SyncCols rebuild into a larger arena (a "gap move", surfaced
+// through the node_gap_moves counter).
+//
+// Freshness. The mirror records the length and first-element address
+// of the Entries slice it was built from. Cols() returns nil whenever
+// those no longer match, which covers every in-place mutation the tree
+// performs (removals, splits and rebinds all change the length or the
+// backing array): a stale mirror can be read as absent, never as wrong.
+
+// GapSlots is the entry-slot slack decoded and cloned nodes carry:
+// appends up to the gap reuse storage in place.
+const GapSlots = 8
+
+// NodeCols is the columnar mirror of one IndexNode's entries.
+type NodeCols struct {
+	dims int
+	n    int
+	capE int // entry slots allocated
+	capT int // tail words allocated
+
+	// Freshness marker: the Entries slice this mirror was built from.
+	entsLen   int
+	entsFirst *Entry
+
+	arena []uint64 // head | bounds | tails, partitions fixed per allocation
+	i32   []int32  // levels | keyLen | tailOff
+
+	head    []uint64 // [capE] first key word, left-aligned
+	bounds  []uint64 // [capE*2*dims] min[0..dims-1], max[0..dims-1] per entry
+	tails   []uint64 // shared arena of key words beyond the head
+	levels  []int32  // [capE]
+	keyLen  []int32  // [capE]
+	tailOff []int32  // [capE+1] prefix offsets into tails
+	child   []ID     // [capE]
+}
+
+// Len returns the number of mirrored entries.
+func (c *NodeCols) Len() int { return c.n }
+
+// Dims returns the dimensionality the bounds columns were built for.
+func (c *NodeCols) Dims() int { return c.dims }
+
+// Level returns entry i's partition level.
+func (c *NodeCols) Level(i int) int { return int(c.levels[i]) }
+
+// KeyBits returns the bit length of entry i's region key.
+func (c *NodeCols) KeyBits(i int) int { return int(c.keyLen[i]) }
+
+// Child returns entry i's child page.
+func (c *NodeCols) Child(i int) ID { return c.child[i] }
+
+// BoundsAt returns the per-dimension minima and maxima of entry i's
+// brick, aliasing the column storage (treat as read-only).
+func (c *NodeCols) BoundsAt(i int) (min, max []uint64) {
+	stride := 2 * c.dims
+	eb := c.bounds[i*stride : i*stride+stride]
+	return eb[:c.dims], eb[c.dims:]
+}
+
+// Cols returns the node's columnar mirror, or nil when no mirror has
+// been built or the entry slice has changed since it was (the mirror
+// is then stale and callers must scan Entries directly).
+func (n *IndexNode) Cols() *NodeCols {
+	c := n.cols
+	if c == nil || c.entsLen != len(n.Entries) ||
+		(c.entsLen > 0 && c.entsFirst != &n.Entries[0]) {
+		return nil
+	}
+	return c
+}
+
+// SyncCols (re)builds the columnar mirror from the entry slice. It is
+// called wherever a node becomes visible to readers — after a decode,
+// and on every save — so hot paths never build columns themselves. A
+// fresh mirror is left untouched. The return value reports whether the
+// arena had to be (re)allocated: the gap-move signal.
+func (n *IndexNode) SyncCols(dims int) (grew bool) {
+	if c := n.Cols(); c != nil && c.dims == dims {
+		return false
+	}
+	c := n.cols
+	if c == nil {
+		c = &NodeCols{}
+		n.cols = c
+	}
+	tailWords := 0
+	for i := range n.Entries {
+		tailWords += len(n.Entries[i].Key.TailWords())
+	}
+	grew = c.reserve(dims, len(n.Entries), tailWords)
+	c.n = 0
+	c.tails = c.tails[:0]
+	c.tailOff[0] = 0
+	for i := range n.Entries {
+		c.push(&n.Entries[i])
+	}
+	c.mark(n.Entries)
+	return grew
+}
+
+// AppendEntry appends e to the node, keeping the columnar mirror in
+// lockstep when it is fresh and a gap slot is free. It reports whether
+// storage had to move (the Entries slice was full, or the mirror had
+// no slot and fell stale pending a SyncCols rebuild) — the caller's
+// node_gap_moves signal.
+func (n *IndexNode) AppendEntry(e Entry) (moved bool) {
+	moved = len(n.Entries) == cap(n.Entries)
+	c := n.Cols()
+	n.Entries = append(n.Entries, e)
+	if c == nil {
+		return moved
+	}
+	tw := len(e.Key.TailWords())
+	if c.n < c.capE && len(c.tails)+tw <= c.capT {
+		c.push(&n.Entries[len(n.Entries)-1])
+		c.mark(n.Entries)
+		return moved
+	}
+	// No free slot: leave the mirror stale (readers fall back to the
+	// entry slice) and let the next save rebuild it with a fresh gap.
+	return true
+}
+
+// reserve sizes the arenas for ne entries and tw tail words, reusing
+// existing storage when it suffices. Returns true on (re)allocation.
+func (c *NodeCols) reserve(dims, ne, tw int) bool {
+	if c.dims == dims && ne <= c.capE && tw <= c.capT {
+		return false
+	}
+	capE, capT := ne+GapSlots, tw+2*GapSlots
+	stride := 2 * dims
+	base := capE * (1 + stride)
+	c.dims, c.capE, c.capT = dims, capE, capT
+	c.arena = make([]uint64, base+capT)
+	c.i32 = make([]int32, 3*capE+1)
+	c.head = c.arena[:capE]
+	c.bounds = c.arena[capE:base]
+	c.tails = c.arena[base:base:cap(c.arena)]
+	c.levels = c.i32[:capE]
+	c.keyLen = c.i32[capE : 2*capE]
+	c.tailOff = c.i32[2*capE:]
+	c.child = make([]ID, capE)
+	return true
+}
+
+// push mirrors one entry into slot c.n. The caller guarantees a free
+// slot and tail capacity.
+func (c *NodeCols) push(e *Entry) {
+	i := c.n
+	c.levels[i] = int32(e.Level)
+	c.keyLen[i] = int32(e.Key.Len())
+	c.child[i] = e.Child
+	c.head[i] = e.Key.Head64()
+	stride := 2 * c.dims
+	eb := c.bounds[i*stride : i*stride+stride]
+	region.BrickBounds(e.Key, c.dims, eb[:c.dims], eb[c.dims:])
+	c.tails = append(c.tails, e.Key.TailWords()...)
+	c.tailOff[i+1] = int32(len(c.tails))
+	c.n = i + 1
+}
+
+// mark records the Entries slice the mirror now describes.
+func (c *NodeCols) mark(ents []Entry) {
+	c.entsLen = len(ents)
+	if len(ents) > 0 {
+		c.entsFirst = &ents[0]
+	} else {
+		c.entsFirst = nil
+	}
+}
+
+// clone deep-copies the mirror: two arena copies plus the child slice,
+// independent of entry count. The caller re-marks it against the
+// clone's entry slice.
+func (c *NodeCols) clone() *NodeCols {
+	d := &NodeCols{dims: c.dims, n: c.n, capE: c.capE, capT: c.capT}
+	stride := 2 * c.dims
+	base := c.capE * (1 + stride)
+	d.arena = make([]uint64, len(c.arena))
+	copy(d.arena, c.arena)
+	d.i32 = make([]int32, len(c.i32))
+	copy(d.i32, c.i32)
+	d.child = make([]ID, c.capE)
+	copy(d.child, c.child)
+	d.head = d.arena[:d.capE]
+	d.bounds = d.arena[d.capE:base]
+	d.tails = d.arena[base : base+len(c.tails) : cap(d.arena)]
+	d.levels = d.i32[:d.capE]
+	d.keyLen = d.i32[d.capE : 2*d.capE]
+	d.tailOff = d.i32[2*d.capE:]
+	return d
+}
+
+// PointKey is a point address preprocessed for Match64: its head word
+// and bit length hoisted out of the per-entry loop.
+type PointKey struct {
+	head uint64
+	bits int
+	key  region.BitString
+}
+
+// MakePointKey prepares a point address for batched prefix tests.
+func MakePointKey(b region.BitString) PointKey {
+	return PointKey{head: b.Head64(), bits: b.Len(), key: b}
+}
+
+// Match64 is the batched point-match pass (matchPointAll): it tests the
+// up-to-64 entries starting at base for "entry key is a prefix of the
+// target address" in one loop over the head and length columns, and
+// returns the result as a bitmask (bit i-base set when entry i
+// matches). Keys longer than one word — rare at realistic depths —
+// take the word-level tail comparison.
+func (c *NodeCols) Match64(t PointKey, base int) uint64 {
+	hi := base + 64
+	if hi > c.n {
+		hi = c.n
+	}
+	heads := c.head[base:hi]
+	lens := c.keyLen[base:hi]
+	var m uint64
+	for i := range heads {
+		kl := int(lens[i])
+		if kl > t.bits {
+			continue
+		}
+		if kl <= 64 {
+			if region.HeadMatch64(heads[i], kl, t.head) {
+				m |= 1 << uint(i)
+			}
+			continue
+		}
+		off := c.tailOff[base+i]
+		if region.TailMatch(heads[i], c.tails[off:], kl, t.key) {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// Intersect64 is the batched rectangle-overlap pass (intersectAll): it
+// tests the up-to-64 entry bricks starting at base against rect with
+// two comparisons per dimension over the stored bounds — no per-bit
+// narrowing — and returns the qualifying entries as a bitmask.
+func (c *NodeCols) Intersect64(rect geometry.Rect, base int) uint64 {
+	hi := base + 64
+	if hi > c.n {
+		hi = c.n
+	}
+	dims := c.dims
+	stride := 2 * dims
+	rmin, rmax := rect.Min, rect.Max
+	b := c.bounds[base*stride : hi*stride]
+	var m uint64
+	for i := 0; i < hi-base; i++ {
+		eb := b[i*stride : i*stride+stride : i*stride+stride]
+		ok := true
+		for d := 0; d < dims; d++ {
+			if eb[d] > rmax[d] || eb[dims+d] < rmin[d] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// Within64 refines an Intersect64 mask to the entries whose bricks lie
+// entirely inside rect — the full-containment fast path. Only bits set
+// in cand are tested.
+func (c *NodeCols) Within64(rect geometry.Rect, base int, cand uint64) uint64 {
+	dims := c.dims
+	stride := 2 * dims
+	rmin, rmax := rect.Min, rect.Max
+	var m uint64
+	for w := cand; w != 0; w &= w - 1 {
+		i := bits.TrailingZeros64(w)
+		eb := c.bounds[(base+i)*stride : (base+i)*stride+stride]
+		ok := true
+		for d := 0; d < dims; d++ {
+			if eb[d] < rmin[d] || eb[dims+d] > rmax[d] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// CheckCols verifies the columnar mirror against the entry slice: every
+// column of every mirrored entry must agree with the entry it mirrors.
+// A nil (absent or stale) mirror passes — readers treat it as absent —
+// so this checks derivation correctness, not freshness. It is wired
+// into the tree's Validate walk as the safety net behind the mirror's
+// staleness discipline.
+func (n *IndexNode) CheckCols(dims int) error {
+	c := n.Cols()
+	if c == nil {
+		return nil
+	}
+	if c.dims != dims {
+		return fmt.Errorf("page: cols built for %d dims, tree has %d", c.dims, dims)
+	}
+	if c.n != len(n.Entries) {
+		return fmt.Errorf("page: cols mirror %d entries, node has %d", c.n, len(n.Entries))
+	}
+	var bmin, bmax [geometry.MaxDims]uint64
+	for i := range n.Entries {
+		e := &n.Entries[i]
+		if c.Level(i) != e.Level || c.Child(i) != e.Child || c.KeyBits(i) != e.Key.Len() {
+			return fmt.Errorf("page: cols entry %d mismatch (level %d/%d child %d/%d bits %d/%d)",
+				i, c.Level(i), e.Level, c.Child(i), e.Child, c.KeyBits(i), e.Key.Len())
+		}
+		if c.head[i] != e.Key.Head64() {
+			return fmt.Errorf("page: cols entry %d head word mismatch", i)
+		}
+		tw := e.Key.TailWords()
+		off, end := c.tailOff[i], c.tailOff[i+1]
+		if int(end-off) != len(tw) {
+			return fmt.Errorf("page: cols entry %d has %d tail words, key has %d", i, end-off, len(tw))
+		}
+		for j, w := range tw {
+			if c.tails[int(off)+j] != w {
+				return fmt.Errorf("page: cols entry %d tail word %d mismatch", i, j)
+			}
+		}
+		region.BrickBounds(e.Key, dims, bmin[:dims], bmax[:dims])
+		min, max := c.BoundsAt(i)
+		for d := 0; d < dims; d++ {
+			if min[d] != bmin[d] || max[d] != bmax[d] {
+				return fmt.Errorf("page: cols entry %d dim %d bounds [%d,%d], brick [%d,%d]",
+					i, d, min[d], max[d], bmin[d], bmax[d])
+			}
+		}
+	}
+	return nil
+}

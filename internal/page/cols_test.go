@@ -1,0 +1,356 @@
+package page
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"bvtree/internal/geometry"
+	"bvtree/internal/region"
+)
+
+// The columnar mirror is derived state: every batched predicate must
+// agree bit-for-bit with the per-entry scalar test it replaces, and no
+// mirror operation may perturb the wire format. These tests check both
+// properties on randomized nodes.
+
+// randNode builds an index node with ne random entries over dims
+// dimensions, key lengths spanning empty through multi-word tails.
+func randNode(rng *rand.Rand, dims, ne int) *IndexNode {
+	n := &IndexNode{Level: 3, Region: region.BitString{}}
+	for i := 0; i < ne; i++ {
+		kl := rng.Intn(dims*64 + 1)
+		n.Entries = append(n.Entries, Entry{
+			Key:   randBits(rng, kl),
+			Level: rng.Intn(3),
+			Child: ID(rng.Intn(1000) + 1),
+		})
+	}
+	return n
+}
+
+// randRect builds a random query rectangle over dims dimensions.
+func randRect(rng *rand.Rand, dims int) geometry.Rect {
+	min := make(geometry.Point, dims)
+	max := make(geometry.Point, dims)
+	for d := 0; d < dims; d++ {
+		a, b := rng.Uint64(), rng.Uint64()
+		if a > b {
+			a, b = b, a
+		}
+		min[d], max[d] = a, b
+	}
+	r, err := geometry.NewRect(min, max)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func TestColsMatch64AgainstIsPrefixOf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range []int{1, 2, 3} {
+		for trial := 0; trial < 50; trial++ {
+			n := randNode(rng, dims, rng.Intn(130))
+			n.SyncCols(dims)
+			c := n.Cols()
+			if c == nil {
+				t.Fatal("mirror stale immediately after SyncCols")
+			}
+			if err := n.CheckCols(dims); err != nil {
+				t.Fatal(err)
+			}
+			for q := 0; q < 8; q++ {
+				target := randBits(rng, dims*64)
+				// Bias half the targets toward actual entry keys so the
+				// match (not just the reject) path is exercised.
+				if q%2 == 0 && len(n.Entries) > 0 {
+					e := n.Entries[rng.Intn(len(n.Entries))]
+					target = e.Key
+					for target.Len() < dims*64 {
+						target = target.Append(rng.Intn(2))
+					}
+				}
+				tk := MakePointKey(target)
+				for base := 0; base < len(n.Entries); base += 64 {
+					m := c.Match64(tk, base)
+					hi := base + 64
+					if hi > len(n.Entries) {
+						hi = len(n.Entries)
+					}
+					for i := base; i < hi; i++ {
+						want := n.Entries[i].Key.IsPrefixOf(target)
+						got := m&(1<<uint(i-base)) != 0
+						if got != want {
+							t.Fatalf("dims=%d entry %d (key %v, target %v): Match64=%v IsPrefixOf=%v",
+								dims, i, n.Entries[i].Key, target, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestColsIntersectWithinAgainstBrickTests(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dims := range []int{1, 2, 3} {
+		for trial := 0; trial < 50; trial++ {
+			n := randNode(rng, dims, rng.Intn(130))
+			n.SyncCols(dims)
+			c := n.Cols()
+			for q := 0; q < 8; q++ {
+				rect := randRect(rng, dims)
+				if q == 0 {
+					rect = geometry.UniverseRect(dims) // containment-heavy case
+				}
+				for base := 0; base < len(n.Entries); base += 64 {
+					m := c.Intersect64(rect, base)
+					fm := c.Within64(rect, base, m)
+					hi := base + 64
+					if hi > len(n.Entries) {
+						hi = len(n.Entries)
+					}
+					for i := base; i < hi; i++ {
+						bit := uint64(1) << uint(i-base)
+						wantI := region.BrickIntersects(n.Entries[i].Key, dims, rect)
+						wantW := wantI && region.BrickWithin(n.Entries[i].Key, dims, rect)
+						if got := m&bit != 0; got != wantI {
+							t.Fatalf("dims=%d entry %d: Intersect64=%v BrickIntersects=%v (key %v rect %v)",
+								dims, i, got, wantI, n.Entries[i].Key, rect)
+						}
+						if got := fm&bit != 0; got != wantW {
+							t.Fatalf("dims=%d entry %d: Within64=%v BrickWithin=%v (key %v rect %v)",
+								dims, i, got, wantW, n.Entries[i].Key, rect)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestColsEncodeByteIdentity: building, appending to and cloning the
+// mirror must leave the encoded page byte-identical to a mirror-free
+// node with the same entries.
+func TestColsEncodeByteIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const dims = 2
+	for trial := 0; trial < 30; trial++ {
+		n := randNode(rng, dims, 1+rng.Intn(80))
+		plain := EncodeIndex(n)
+		n.SyncCols(dims)
+		if got := EncodeIndex(n); !bytes.Equal(got, plain) {
+			t.Fatal("SyncCols changed the encoding")
+		}
+		e := Entry{Key: randBits(rng, rng.Intn(100)), Level: 0, Child: 7}
+		n.AppendEntry(e)
+		ref := &IndexNode{Level: n.Level, Region: n.Region, Entries: append([]Entry(nil), n.Entries...)}
+		if got := EncodeIndex(n); !bytes.Equal(got, EncodeIndex(ref)) {
+			t.Fatal("AppendEntry changed the encoding beyond the appended entry")
+		}
+		cl := n.Clone()
+		if got := EncodeIndex(cl); !bytes.Equal(got, EncodeIndex(n)) {
+			t.Fatal("Clone changed the encoding")
+		}
+	}
+}
+
+// TestColsAppendGapPolicy: appends within the gap keep the mirror fresh
+// and in lockstep; exhausting the gap drops it stale (read as absent),
+// never wrong.
+func TestColsAppendGapPolicy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const dims = 2
+	n := randNode(rng, dims, 10)
+	n.SyncCols(dims)
+	for i := 0; i < GapSlots+4; i++ {
+		n.AppendEntry(Entry{Key: randBits(rng, 20+i), Level: 0, Child: ID(100 + i)})
+		if c := n.Cols(); c != nil {
+			if c.Len() != len(n.Entries) {
+				t.Fatalf("fresh mirror has %d entries, node has %d", c.Len(), len(n.Entries))
+			}
+			if err := n.CheckCols(dims); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if n.Cols() != nil {
+		t.Fatal("mirror still fresh after exhausting the gap and growing Entries")
+	}
+	// The rebuild restores freshness with a new gap.
+	if grew := n.SyncCols(dims); !grew {
+		t.Fatal("SyncCols after gap exhaustion did not report arena growth")
+	}
+	if err := n.CheckCols(dims); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestColsCloneIndependence: a clone's mirror must not share mutable
+// storage with its source.
+func TestColsCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const dims = 2
+	n := randNode(rng, dims, 20)
+	n.SyncCols(dims)
+	cl := n.Clone()
+	if cl.Cols() == nil {
+		t.Fatal("clone did not carry a fresh mirror")
+	}
+	before := EncodeIndex(n)
+	// Append into the clone's gap, then truncate (stale) and rebuild:
+	// the rebuild rewrites the clone's arenas in place — if they were
+	// shared with the source, its columns would be corrupted.
+	cl.AppendEntry(Entry{Key: randBits(rng, 30), Level: 1, Child: 999})
+	cl.Entries = cl.Entries[:10]
+	cl.SyncCols(dims)
+	if err := cl.CheckCols(dims); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CheckCols(dims); err != nil {
+		t.Fatalf("source mirror corrupted by clone mutation: %v", err)
+	}
+	if got := EncodeIndex(n); !bytes.Equal(got, before) {
+		t.Fatal("clone mutation leaked into source encoding")
+	}
+}
+
+// TestColsStaleOnMutation: the freshness marker must catch the in-place
+// mutations the tree performs (truncation, re-slicing, growth).
+func TestColsStaleOnMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const dims = 2
+	n := randNode(rng, dims, 12)
+	n.SyncCols(dims)
+	n.Entries = n.Entries[:8]
+	if n.Cols() != nil {
+		t.Fatal("mirror fresh after truncation")
+	}
+	n.SyncCols(dims)
+	n.Entries = append(append([]Entry(nil), n.Entries...), Entry{Key: randBits(rng, 9)})
+	if n.Cols() != nil {
+		t.Fatal("mirror fresh after the backing array moved")
+	}
+}
+
+// TestColsDecodeGap: DecodeIndex leaves gap slack so the first appends
+// after a decode stay in place.
+func TestColsDecodeGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := randNode(rng, 2, 15)
+	got, err := DecodeIndex(EncodeIndex(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(got.Entries)-len(got.Entries) < GapSlots {
+		t.Fatalf("decoded node has %d slack slots, want >= %d", cap(got.Entries)-len(got.Entries), GapSlots)
+	}
+}
+
+// randDataPage builds a data page with ni random items over dims
+// dimensions.
+func randDataPage(rng *rand.Rand, dims, ni int) *DataPage {
+	p := &DataPage{Region: region.BitString{}}
+	for i := 0; i < ni; i++ {
+		pt := make(geometry.Point, dims)
+		for d := 0; d < dims; d++ {
+			pt[d] = rng.Uint64() >> (rng.Intn(60)) // cluster values so equality hits happen
+		}
+		p.Items = append(p.Items, Item{Point: pt, Payload: uint64(i)})
+	}
+	return p
+}
+
+// TestDataColsMasksAgainstScalarTests pins EqualMask64 to Point.Equal
+// and ContainMask64 to Rect.Contains, item by item.
+func TestDataColsMasksAgainstScalarTests(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, dims := range []int{1, 2, 3} {
+		for trial := 0; trial < 50; trial++ {
+			p := randDataPage(rng, dims, rng.Intn(150))
+			p.SyncDataCols(dims)
+			c := p.DCols()
+			if c == nil {
+				t.Fatal("mirror stale immediately after SyncDataCols")
+			}
+			if err := p.CheckDataCols(dims); err != nil {
+				t.Fatal(err)
+			}
+			for q := 0; q < 8; q++ {
+				var probe geometry.Point
+				if q%2 == 0 && len(p.Items) > 0 {
+					probe = p.Items[rng.Intn(len(p.Items))].Point
+				} else {
+					probe = make(geometry.Point, dims)
+					for d := range probe {
+						probe[d] = rng.Uint64() >> (rng.Intn(60))
+					}
+				}
+				rect := randRect(rng, dims)
+				for base := 0; base < len(p.Items); base += 64 {
+					em := c.EqualMask64(probe, base)
+					cm := c.ContainMask64(rect, base)
+					hi := base + 64
+					if hi > len(p.Items) {
+						hi = len(p.Items)
+					}
+					for i := base; i < hi; i++ {
+						bit := uint64(1) << uint(i-base)
+						if got, want := em&bit != 0, p.Items[i].Point.Equal(probe); got != want {
+							t.Fatalf("dims=%d item %d: EqualMask64=%v Point.Equal=%v", dims, i, got, want)
+						}
+						if got, want := cm&bit != 0, rect.Contains(p.Items[i].Point); got != want {
+							t.Fatalf("dims=%d item %d: ContainMask64=%v Contains=%v", dims, i, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDataColsStaleness: the freshness marker must catch the item-slice
+// mutations the tree performs between saves, SyncDataCols must restore
+// freshness, and Clone must not carry the source's mirror.
+func TestDataColsStaleness(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	const dims = 2
+	p := randDataPage(rng, dims, 12)
+	p.SyncDataCols(dims)
+	enc := EncodeData(p, dims)
+
+	p.Items = append(p.Items[:5], p.Items[6:]...) // removal
+	if p.DCols() != nil {
+		t.Fatal("mirror fresh after item removal")
+	}
+	p.SyncDataCols(dims)
+	if p.DCols() == nil || p.DCols().Len() != 11 {
+		t.Fatal("rebuild did not restore a fresh mirror")
+	}
+	p.Items = append(p.Items, Item{Point: geometry.Point{1, 2}, Payload: 99}) // append
+	if p.DCols() != nil {
+		t.Fatal("mirror fresh after append")
+	}
+	p.SyncDataCols(dims)
+
+	cl := p.Clone()
+	if cl.DCols() != nil {
+		t.Fatal("clone carried the source's mirror despite a moved item slice")
+	}
+	cl.SyncDataCols(dims)
+	cl.Items[0].Payload = 7777
+	if err := p.CheckDataCols(dims); err != nil {
+		t.Fatalf("source mirror affected by clone mutation: %v", err)
+	}
+
+	// The mirror is derived state only: it must never leak into the wire
+	// format (encoding reads Items alone).
+	p2, _, err := DecodeData(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Items) != 12 {
+		t.Fatalf("decoded %d items, want 12", len(p2.Items))
+	}
+}

@@ -1,6 +1,7 @@
 package page
 
 import (
+	"bytes"
 	"testing"
 
 	"bvtree/internal/geometry"
@@ -33,6 +34,23 @@ func FuzzDecodeIndex(f *testing.F) {
 		}
 		if again.Level != got.Level || len(again.Entries) != len(got.Entries) {
 			t.Fatal("re-encode not stable")
+		}
+		// Gapped decode: the columnar mirror built over a decoded node
+		// must agree with its entries, survive an in-gap append, and
+		// never leak into the wire format.
+		got.SyncCols(2)
+		if err := got.CheckCols(2); err != nil {
+			t.Fatalf("cols mismatch after decode: %v", err)
+		}
+		got.AppendEntry(Entry{Key: region.MustParseBits("1101"), Level: 0, Child: 3})
+		if got.Cols() != nil {
+			if err := got.CheckCols(2); err != nil {
+				t.Fatalf("cols mismatch after gapped append: %v", err)
+			}
+		}
+		got.Entries = got.Entries[:len(got.Entries)-1]
+		if !bytes.Equal(EncodeIndex(got), re) {
+			t.Fatal("mirror maintenance changed the encoding")
 		}
 	})
 }

@@ -58,18 +58,30 @@ type IndexNode struct {
 	Level   int
 	Region  region.BitString
 	Entries []Entry
+
+	// cols is the columnar mirror of Entries (see cols.go): derived
+	// acceleration state, never encoded, accessed through Cols() which
+	// hides it whenever it is stale.
+	cols *NodeCols
 }
 
 // Clone returns a copy of n whose Entries slice has a private backing
-// array, so the copy can be appended to, compacted, or rebound without
-// disturbing the original. Entry keys are BitStrings with value
+// array — with GapSlots of spare capacity, so appends to the copy land
+// in place — so the copy can be appended to, compacted, or rebound
+// without disturbing the original. Entry keys are BitStrings with value
 // semantics (no in-place mutators), so sharing their word storage across
-// the copy is safe.
+// the copy is safe. A fresh columnar mirror is cloned along: its slab
+// layout makes that a fixed number of arena copies however many entries
+// the node holds, which is what keeps MVCC copy-on-write capture cheap.
 func (n *IndexNode) Clone() *IndexNode {
 	c := &IndexNode{Level: n.Level, Region: n.Region}
 	if len(n.Entries) > 0 {
-		c.Entries = make([]Entry, len(n.Entries))
+		c.Entries = make([]Entry, len(n.Entries), len(n.Entries)+GapSlots)
 		copy(c.Entries, n.Entries)
+	}
+	if src := n.Cols(); src != nil {
+		c.cols = src.clone()
+		c.cols.mark(c.Entries)
 	}
 	return c
 }
@@ -85,6 +97,11 @@ type Item struct {
 type DataPage struct {
 	Region region.BitString
 	Items  []Item
+
+	// dcols is the page's columnar coordinate mirror (see datacols.go):
+	// derived, never encoded, dropped by Clone (a clone's mirror reads as
+	// stale until its first SyncDataCols).
+	dcols *DataCols
 }
 
 // Clone returns a copy of p whose Items slice has a private backing
@@ -161,7 +178,9 @@ func DecodeIndex(b []byte) (*IndexNode, error) {
 	if count < 0 || count > 1<<20 {
 		return nil, fmt.Errorf("page: implausible entry count %d", count)
 	}
-	n.Entries = make([]Entry, count)
+	// GapSlots of spare capacity: the first appends after a decode
+	// reuse the slot gap instead of reallocating the whole slice.
+	n.Entries = make([]Entry, count, count+GapSlots)
 	for i := range n.Entries {
 		n.Entries[i].Level = int(r.u32())
 		n.Entries[i].Key = r.bits()

@@ -1,0 +1,81 @@
+package region
+
+// This file holds the word-level primitives behind the columnar node
+// layout of package page: a bit string's comparable head word, its
+// overflow tail, prefix tests phrased directly over packed words, and
+// the exact per-dimension brick bounds of a prefix. They exist so a
+// node's entries can be tested against a point or rectangle in one
+// tight loop over contiguous columns instead of one BitString method
+// call per entry.
+
+// Head64 returns the first (up to) 64 bits of b, left-aligned with
+// unused low bits zero. Because BitString keeps trailing bits of its
+// final word cleared, this is exactly b's first packed word.
+func (b BitString) Head64() uint64 {
+	if len(b.words) == 0 {
+		return 0
+	}
+	return b.words[0]
+}
+
+// TailWords returns b's packed words beyond the head (bits 64..).
+// The slice aliases b's storage and must be treated as read-only.
+func (b BitString) TailWords() []uint64 {
+	if len(b.words) <= 1 {
+		return nil
+	}
+	return b.words[1:]
+}
+
+// HeadMatch64 reports whether the kl-bit key whose first word is head
+// is a prefix of a target whose first word is targetHead. It is valid
+// only for kl <= 64 and kl not exceeding the target's length; under
+// those conditions the whole prefix test is one XOR and one shift
+// (Go defines x>>64 as 0, so kl = 0 and kl = 64 need no branches).
+func HeadMatch64(head uint64, kl int, targetHead uint64) bool {
+	return (head^targetHead)>>uint(64-kl) == 0
+}
+
+// TailMatch reports whether the kl-bit key formed by head followed by
+// the overflow words tail is a prefix of target. It is the slow half of
+// the columnar prefix test, taken only for keys longer than one word
+// (kl > 64); the caller must have checked kl <= target.Len().
+func TailMatch(head uint64, tail []uint64, kl int, target BitString) bool {
+	tw := target.words
+	if head != tw[0] {
+		return false
+	}
+	full := kl / 64 // full words of the key, >= 1 here
+	for j := 1; j < full; j++ {
+		if tail[j-1] != tw[j] {
+			return false
+		}
+	}
+	if rem := kl % 64; rem != 0 {
+		if (tail[full-1]^tw[full])>>uint(64-rem) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// BrickBounds writes the exact per-dimension bounds of b's brick in a
+// dims-dimensional space into min and max (each of length >= dims):
+// the same narrowing BrickIntersects performs per test, run once so
+// the bounds can be stored and every later rectangle test becomes two
+// comparisons per dimension. min/max entries beyond dims are untouched.
+func BrickBounds(b BitString, dims int, min, max []uint64) {
+	for d := 0; d < dims; d++ {
+		min[d] = 0
+		max[d] = ^uint64(0)
+	}
+	for i := 0; i < b.n; i++ {
+		dim := i % dims
+		half := (max[dim]-min[dim])/2 + 1
+		if b.words[i/64]&(1<<uint(63-i%64)) == 0 {
+			max[dim] = min[dim] + half - 1
+		} else {
+			min[dim] = min[dim] + half
+		}
+	}
+}

@@ -54,6 +54,10 @@ func (il *Interleaver) TotalBits() int { return il.dims * il.bitsPerDim }
 // Interleave maps a point to its Morton address. Interleaved bit i carries
 // bit (63 - i/dims) of coordinate i%dims: the dimensions are cycled from
 // the most significant coordinate bits downwards.
+//
+// One and two dimensions — the common cases — interleave word-parallel
+// (mask-and-shift bit spreading rather than a per-bit loop); higher
+// dimensionalities take the generic path.
 func (il *Interleaver) Interleave(p geometry.Point) (Address, error) {
 	if len(p) != il.dims {
 		return Address{}, fmt.Errorf("zorder: point has %d dims, interleaver expects %d", len(p), il.dims)
@@ -64,15 +68,47 @@ func (il *Interleaver) Interleave(p geometry.Point) (Address, error) {
 		dims:       il.dims,
 		bitsPerDim: il.bitsPerDim,
 	}
-	for i := 0; i < total; i++ {
-		dim := i % il.dims
-		depth := i / il.dims // 0 = most significant kept bit
-		bit := (p[dim] >> uint(63-depth)) & 1
-		if bit != 0 {
-			a.bits[i/64] |= 1 << uint(63-i%64)
+	switch il.dims {
+	case 1:
+		a.bits[0] = p[0]
+	case 2:
+		// Interleaved word w holds depths 32w..32w+31 of both coordinates:
+		// spread each 32-bit half to the even bit positions and lace the
+		// dimension-0 half one position higher (bit 0 of the address is
+		// the MSB of coordinate 0).
+		a.bits[0] = spread32(p[0]>>32)<<1 | spread32(p[1]>>32)
+		if len(a.bits) > 1 {
+			a.bits[1] = spread32(p[0])<<1 | spread32(p[1])
 		}
+	default:
+		for i := 0; i < total; i++ {
+			dim := i % il.dims
+			depth := i / il.dims // 0 = most significant kept bit
+			bit := (p[dim] >> uint(63-depth)) & 1
+			if bit != 0 {
+				a.bits[i/64] |= 1 << uint(63-i%64)
+			}
+		}
+		return a, nil
+	}
+	// The word-parallel paths fill whole words; truncate to the kept
+	// precision (bits past dims*bitsPerDim must read as zero).
+	if tail := uint(len(a.bits)*64 - total); tail != 0 {
+		a.bits[len(a.bits)-1] &^= 1<<tail - 1
 	}
 	return a, nil
+}
+
+// spread32 distributes the low 32 bits of x to the even bit positions of
+// a word: bit j moves to bit 2j, the odd positions are zero.
+func spread32(x uint64) uint64 {
+	x &= 0x00000000FFFFFFFF
+	x = (x | x<<16) & 0x0000FFFF0000FFFF
+	x = (x | x<<8) & 0x00FF00FF00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
 }
 
 // Deinterleave reconstructs the point whose kept coordinate bits produce a.

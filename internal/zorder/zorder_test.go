@@ -137,3 +137,41 @@ func TestKey64PrefixOfLongAddress(t *testing.T) {
 		}
 	}
 }
+
+// TestInterleaveFastPathMatchesReference pins the word-parallel 1-D and
+// 2-D interleave paths to the generic per-bit construction across the
+// full bitsPerDim range.
+func TestInterleaveFastPathMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, dims := range []int{1, 2} {
+		for _, bpd := range []int{1, 7, 31, 32, 33, 63, 64} {
+			il, err := NewInterleaver(dims, bpd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 200; trial++ {
+				p := make(geometry.Point, dims)
+				for d := range p {
+					p[d] = rng.Uint64()
+				}
+				a, err := il.Interleave(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total := dims * bpd
+				if got := len(a.Words()); got != (total+63)/64 {
+					t.Fatalf("dims=%d bpd=%d: %d words", dims, bpd, got)
+				}
+				for i := 0; i < len(a.Words())*64; i++ {
+					var want int
+					if i < total {
+						want = int((p[i%dims] >> uint(63-i/dims)) & 1)
+					}
+					if got := a.Bit(i); got != want {
+						t.Fatalf("dims=%d bpd=%d bit %d: got %d want %d (p=%x)", dims, bpd, i, got, want, p)
+					}
+				}
+			}
+		}
+	}
+}
