@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race torture fuzz fuzz-restore fuzz-bulkload bench bench-write bench-range bench-snapshot bench-ingest bench-node backup obs docslint
+.PHONY: verify race torture fuzz fuzz-restore fuzz-bulkload bench bench-write bench-range bench-snapshot bench-ingest bench-node bench-server backup obs docslint server
 
 # The standard verification gate: static checks, build, full test suite
 # (including the runnable godoc examples), the documentation lint (every
@@ -17,13 +17,18 @@ GO ?= go
 # internal/bvtree: the differential programs, the crash sweeps and the
 # concurrent buffered-access stress) and the columnar node-layout smoke
 # (TestColumnar* in internal/bvtree: concurrent batched reads against a
-# writer driving gap appends and mirror rebuilds).
+# writer driving gap appends and mirror rebuilds), and the sharded
+# service (TestShard* in internal/shard: the N-shard-vs-single-tree
+# differential programs, the scatter-gather cancellation tests and the
+# multi-client wire-server stress). The docslint run covers README.md,
+# DESIGN.md, PROTOCOL.md and EXPERIMENTS.md, including the annotated
+# hex frame dumps.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) run ./cmd/docslint
-	$(GO) test -race -run 'TestConcurrent|TestGroupCommit|TestParallelRange|TestSnapshot|TestBuffered|TestColumnar' ./internal/bvtree ./internal/storage ./internal/wal ./internal/obs
+	$(GO) test -race -run 'TestConcurrent|TestGroupCommit|TestParallelRange|TestSnapshot|TestBuffered|TestColumnar|TestShard' ./internal/bvtree ./internal/storage ./internal/wal ./internal/obs ./internal/shard
 
 # Full suite under the race detector, including the reader/writer stress
 # tests (TestConcurrent*) added with the parallel read path.
@@ -101,6 +106,23 @@ fuzz-bulkload:
 # BENCH_obs.json. See DESIGN.md §10 for the methodology.
 obs:
 	$(GO) run ./cmd/bvbench -obs
+
+# Sharded server, end to end: wire protocol + per-connection executors +
+# shard router + scatter-gather + per-shard durable trees under a
+# closed-loop mixed load over loopback TCP, client-observed p50/p95/p99
+# per op class; regenerates BENCH_server.json. Rows are flagged
+# saturated when GOMAXPROCS < 2×connections (client and server share
+# the cores). See DESIGN.md §15 and PROTOCOL.md.
+bench-server:
+	$(GO) run ./cmd/bvbench -server
+
+# Run the sharded server on the default address (:9412) with a default
+# data directory. First start samples a workload and writes the shard
+# plan (plan.json); later starts recover every shard from its
+# checkpoint + WAL and reject a changed -dims/-shards. See README.md
+# "Running the server" and DESIGN.md §15.
+server:
+	$(GO) run ./cmd/bvserver -data ./bvserver-data
 
 # The documentation lint on its own (also part of `verify`).
 docslint:

@@ -10,6 +10,7 @@
 //	bvbench -snapshot [-writers 4] [-writer-ops 4000] [-json BENCH_snapshot.json]
 //	bvbench -rangequery [-range-workers 1,2,4,8] [-json BENCH_rangequery.json]
 //	bvbench -ingest [-ingest-n 20000] [-json BENCH_ingest.json]
+//	bvbench -server [-conns 1,2,4,8] [-conn-ops 2000] [-json BENCH_server.json]
 //	bvbench -obs [-json BENCH_obs.json]
 //	bvbench -nodelayout [-json BENCH_nodelayout.json]
 //	bvbench -debug-addr localhost:6060 [-hold 10m]
@@ -31,7 +32,11 @@
 // BENCH_rangequery.json. The -ingest mode compares single-writer durable
 // ingestion disciplines — per-op inserts, z-sorted batches, batches into
 // a write-buffered tree, and the parallel BulkLoad — and writes
-// BENCH_ingest.json. The -obs mode prices the observability
+// BENCH_ingest.json. The -server mode stands up an in-process sharded
+// bvserver (durable backend, sampling-chosen shard plan) and drives it
+// over loopback TCP with a closed-loop mixed workload at increasing
+// connection counts, writing client-observed p50/p95/p99 per op class to
+// BENCH_server.json. The -obs mode prices the observability
 // layer (instrumentation off vs metrics vs metrics+tracer) and writes
 // BENCH_obs.json. The -nodelayout mode measures the columnar node
 // layout (batched column predicates) against the pre-columnar scalar
@@ -67,6 +72,9 @@ func main() {
 		ingest    = flag.Bool("ingest", false, "run the write-optimized ingestion benchmark")
 		ingestN   = flag.Int("ingest-n", 20000, "points to load per mode for -ingest")
 		rangeWk   = flag.String("range-workers", "1,2,4,8", "comma-separated worker counts for -rangequery (1 = serial walk)")
+		srvBench  = flag.Bool("server", false, "run the sharded-server wire benchmark")
+		srvConns  = flag.String("conns", "1,2,4,8", "comma-separated client connection counts for -server")
+		srvOps    = flag.Int("conn-ops", 2000, "ops per connection for -server")
 		obsBench  = flag.Bool("obs", false, "run the observability-overhead benchmark")
 		nodeLay   = flag.Bool("nodelayout", false, "run the columnar node-layout benchmark")
 		debugAddr = flag.String("debug-addr", "", "serve expvar+pprof on this address over a demo workload")
@@ -90,6 +98,21 @@ func main() {
 			os.Exit(1)
 		}
 		writeJSON(rep, *jsonPath, "BENCH_nodelayout.json")
+		return
+	}
+
+	if *srvBench {
+		counts, err := parseReaders(*srvConns)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bvbench: %v\n", err)
+			os.Exit(2)
+		}
+		rep, err := bench.RunServer(os.Stdout, *scale, counts, *srvOps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bvbench: server: %v\n", err)
+			os.Exit(1)
+		}
+		writeJSON(rep, *jsonPath, "BENCH_server.json")
 		return
 	}
 

@@ -1,0 +1,285 @@
+// Command bvserver serves a sharded BV-tree cluster over the length-
+// prefixed binary protocol documented in PROTOCOL.md.
+//
+// Usage:
+//
+//	bvserver -data /var/lib/bvserver [-addr :9412] [-dims 2] [-shards 4]
+//	bvserver -backend mem -dims 3 -shards 8
+//	bvserver -data dir -metrics-addr localhost:6060
+//
+// The keyspace is partitioned by Morton (Z-order) prefix ranges: at
+// first start the server draws a synthetic sample from -plan-dist,
+// interleaves it, and picks shard split points at sample quantiles
+// rounded to -prefix-bits boundaries (see DESIGN.md §15). The resulting
+// plan is persisted to <data>/plan.json and every later start reloads
+// it — the plan decides where each point lives, so reopening under a
+// different plan would misroute reads. -dims/-shards/-prefix-bits are
+// therefore creation-time parameters; on reopen they are checked
+// against the persisted plan and a mismatch is a startup error rather
+// than silent corruption.
+//
+// Each shard owns a full durable stack under <data>/shard-NNNN/: a
+// file-backed page store (tree.db) and a write-ahead log (tree.wal),
+// recovered independently on open. -backend mem swaps every shard for
+// an in-memory tree (no -data, nothing survives exit) — useful for
+// protocol experiments and as a cache-style deployment.
+//
+// -metrics-addr serves expvar on /debug/vars (keys "bvserver" for wire
+// and connection metrics, "shards" for per-shard tree/WAL/store
+// snapshots, "cluster" for the plan and aggregate counters) plus the
+// standard pprof profiles.
+//
+// SIGINT/SIGTERM drain cleanly: stop accepting, answer in-flight
+// requests, close the WALs (checkpointing each shard) and exit 0.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"bvtree/internal/bvtree"
+	"bvtree/internal/obs"
+	"bvtree/internal/shard"
+	"bvtree/internal/storage"
+	"bvtree/internal/workload"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":9412", "listen address")
+		dataDir     = flag.String("data", "", "data directory (required for -backend durable)")
+		backend     = flag.String("backend", "durable", "shard backend: durable or mem")
+		dims        = flag.Int("dims", 2, "dimensionality (creation time; persisted in the plan)")
+		shards      = flag.Int("shards", 4, "shard count (creation time; persisted in the plan)")
+		prefixBits  = flag.Int("prefix-bits", 0, "Z-prefix granularity for split points (0 = default)")
+		planDist    = flag.String("plan-dist", "clustered", "distribution sampled for split-point selection")
+		planSample  = flag.Int("plan-sample", 4096, "sample size for split-point selection")
+		seed        = flag.Uint64("seed", 1, "sampling seed for split-point selection")
+		inflight    = flag.Int("inflight", 0, "per-connection pipeline window (0 = default)")
+		metricsAddr = flag.String("metrics-addr", "", "serve expvar+pprof on this address (\"\" = off)")
+	)
+	flag.Parse()
+	if err := run(*addr, *dataDir, *backend, *dims, *shards, *prefixBits,
+		*planDist, *planSample, *seed, *inflight, *metricsAddr); err != nil {
+		fmt.Fprintf(os.Stderr, "bvserver: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataDir, backend string, dims, shards, prefixBits int,
+	planDist string, planSample int, seed uint64, inflight int, metricsAddr string) error {
+	if backend != "durable" && backend != "mem" {
+		return fmt.Errorf("unknown -backend %q (want durable or mem)", backend)
+	}
+	if backend == "durable" && dataDir == "" {
+		return errors.New("-backend durable requires -data")
+	}
+
+	plan, fresh, err := loadOrCreatePlan(dataDir, backend, dims, shards, prefixBits,
+		planDist, planSample, seed)
+	if err != nil {
+		return err
+	}
+	if fresh {
+		fmt.Printf("bvserver: new plan: %d shards over %d-d Z-order, %d prefix bits\n",
+			plan.Shards(), plan.Dims, plan.PrefixBits)
+	} else {
+		fmt.Printf("bvserver: reloaded plan from %s: %d shards, %d dims\n",
+			planPath(dataDir), plan.Shards(), plan.Dims)
+	}
+
+	engines, closeEngines, err := openEngines(dataDir, backend, plan)
+	if err != nil {
+		return err
+	}
+	defer closeEngines()
+
+	router, err := shard.NewRouter(plan, engines)
+	if err != nil {
+		return err
+	}
+	if !fresh {
+		for i, n := range router.ShardLens() {
+			fmt.Printf("bvserver: shard %04d recovered %d items\n", i, n)
+		}
+	}
+
+	srv := shard.NewServer(router, shard.ServerConfig{MaxInflight: inflight})
+	if metricsAddr != "" {
+		publishMetrics(srv, router)
+		go func() {
+			fmt.Printf("bvserver: metrics on http://%s/debug/vars\n", metricsAddr)
+			if err := http.ListenAndServe(metricsAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "bvserver: metrics server: %v\n", err)
+			}
+		}()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(addr) }()
+	fmt.Printf("bvserver: serving %s backend on %s (%d shards)\n", backend, addr, plan.Shards())
+
+	select {
+	case sig := <-sigc:
+		fmt.Printf("bvserver: %v: draining...\n", sig)
+		if err := srv.Close(); err != nil {
+			return err
+		}
+		<-done // ListenAndServe returns once the listener closes
+		return nil
+	case err := <-done:
+		return err
+	}
+}
+
+func planPath(dataDir string) string { return filepath.Join(dataDir, "plan.json") }
+
+// loadOrCreatePlan returns the cluster's shard plan. Durable clusters
+// persist it: the first start samples and writes plan.json, every later
+// start reloads it and cross-checks the creation-time flags. Mem
+// clusters get a fresh plan per process.
+func loadOrCreatePlan(dataDir, backend string, dims, shards, prefixBits int,
+	planDist string, planSample int, seed uint64) (shard.Plan, bool, error) {
+	if backend == "durable" {
+		blob, err := os.ReadFile(planPath(dataDir))
+		switch {
+		case err == nil:
+			var plan shard.Plan
+			if err := json.Unmarshal(blob, &plan); err != nil {
+				return shard.Plan{}, false, fmt.Errorf("parse %s: %w", planPath(dataDir), err)
+			}
+			if plan.Dims != dims || plan.Shards() != shards {
+				return shard.Plan{}, false, fmt.Errorf(
+					"%s says %d shards over %d dims, flags say %d/%d: the plan is fixed at creation; remove the data directory to re-shard",
+					planPath(dataDir), plan.Shards(), plan.Dims, shards, dims)
+			}
+			return plan, false, nil
+		case !errors.Is(err, os.ErrNotExist):
+			return shard.Plan{}, false, err
+		}
+	}
+
+	sample, err := workload.Generate(workload.Kind(planDist), dims, planSample, seed)
+	if err != nil {
+		return shard.Plan{}, false, err
+	}
+	plan, err := shard.PlanShards(sample, dims, shards, prefixBits)
+	if err != nil {
+		return shard.Plan{}, false, err
+	}
+
+	if backend == "durable" {
+		if err := os.MkdirAll(dataDir, 0o755); err != nil {
+			return shard.Plan{}, false, err
+		}
+		blob, err := json.MarshalIndent(plan, "", "  ")
+		if err != nil {
+			return shard.Plan{}, false, err
+		}
+		// Write-then-rename so a crash mid-write cannot leave a torn plan
+		// that silently misroutes the next start.
+		tmp := planPath(dataDir) + ".tmp"
+		if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
+			return shard.Plan{}, false, err
+		}
+		if err := os.Rename(tmp, planPath(dataDir)); err != nil {
+			return shard.Plan{}, false, err
+		}
+	}
+	return plan, true, nil
+}
+
+// openEngines builds one engine per shard range. Durable shards live in
+// <data>/shard-NNNN/ with their own store and WAL, created on first
+// start and recovered (checkpoint load + WAL replay) afterwards.
+func openEngines(dataDir, backend string, plan shard.Plan) ([]shard.Engine, func(), error) {
+	engines := make([]shard.Engine, plan.Shards())
+	var closers []func()
+	closeAll := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	opt := bvtree.Options{Dims: plan.Dims, Metrics: true}
+	for i := range engines {
+		if backend == "mem" {
+			tr, err := bvtree.New(opt)
+			if err != nil {
+				closeAll()
+				return nil, nil, err
+			}
+			engines[i] = tr
+			continue
+		}
+		dir := filepath.Join(dataDir, fmt.Sprintf("shard-%04d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		dbPath := filepath.Join(dir, "tree.db")
+		walPath := filepath.Join(dir, "tree.wal")
+		dopt := bvtree.DurableOptions{Metrics: true}
+
+		var (
+			st  *storage.FileStore
+			d   *bvtree.DurableTree
+			err error
+		)
+		if _, statErr := os.Stat(dbPath); statErr == nil {
+			st, err = storage.OpenFileStore(dbPath, storage.FileStoreOptions{PinDirty: true})
+			if err == nil {
+				d, err = bvtree.OpenDurableOpts(st, walPath, 0, dopt)
+			}
+		} else {
+			st, err = storage.CreateFileStore(dbPath, storage.FileStoreOptions{PinDirty: true})
+			if err == nil {
+				d, err = bvtree.NewDurableOpts(st, walPath, opt, dopt)
+			}
+		}
+		if err != nil {
+			if st != nil {
+				st.Close()
+			}
+			closeAll()
+			return nil, nil, fmt.Errorf("shard %04d: %w", i, err)
+		}
+		closers = append(closers, func() { d.Close(); st.Close() })
+		engines[i] = d
+	}
+	return engines, closeAll, nil
+}
+
+// publishMetrics exposes the three observability surfaces on expvar:
+// the wire layer, each shard's full tree/WAL/store snapshot, and the
+// cluster view (plan + aggregate structural counters + per-shard item
+// counts, for spotting routing skew at a glance).
+func publishMetrics(srv *shard.Server, router *shard.Router) {
+	expvar.Publish("bvserver", expvar.Func(func() any { return srv.Metrics() }))
+	expvar.Publish("shards", expvar.Func(func() any {
+		out := make([]obs.Snapshot, 0, router.Shards())
+		for i := 0; i < router.Shards(); i++ {
+			if snap, ok := router.ShardMetrics(i); ok {
+				out = append(out, snap)
+			}
+		}
+		return out
+	}))
+	expvar.Publish("cluster", expvar.Func(func() any {
+		return struct {
+			Plan      shard.Plan               `json:"plan"`
+			Lens      []int                    `json:"shard_lens"`
+			Aggregate obs.TreeCountersSnapshot `json:"aggregate_counters"`
+		}{router.Plan(), router.ShardLens(), router.AggregateCounters()}
+	}))
+}

@@ -1,18 +1,29 @@
-// Command docslint keeps the documentation's Go honest: it extracts
-// every ```go fence from the given markdown files and checks it.
-// Fences that are complete programs (they contain a package clause) are
-// compiled against this repository in a throwaway module; partial
-// snippets are syntax-checked with go/parser, tried first as top-level
-// declarations and then wrapped in a function body. A snippet that
-// drifts from the real API (for programs) or stops parsing (for
-// fragments) fails `make verify` instead of rotting silently.
+// Command docslint keeps the documentation honest. It extracts every
+// ```go and ```frame fence from the given markdown files and checks it:
+//
+//   - ```go fences that are complete programs (they contain a package
+//     clause) are compiled against this repository in a throwaway
+//     module; partial snippets are syntax-checked with go/parser, tried
+//     first as top-level declarations and then wrapped in a function
+//     body.
+//   - ```frame fences (PROTOCOL.md's annotated hex dumps of wire
+//     frames) are parsed as hex bytes — comments after "--" stripped —
+//     and the leading uint32 big-endian length prefix must equal the
+//     number of payload bytes that follow it, and the payload must be
+//     at least the 6-byte request/response header.
+//
+// A snippet that drifts from the real API, stops parsing, or declares
+// the wrong frame length fails `make verify` instead of rotting
+// silently.
 //
 // Usage:
 //
-//	docslint [file.md ...]   # default: README.md DESIGN.md
+//	docslint [file.md ...]   # default: README.md DESIGN.md PROTOCOL.md EXPERIMENTS.md
 package main
 
 import (
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"go/parser"
 	"go/token"
@@ -25,19 +36,26 @@ import (
 func main() {
 	files := os.Args[1:]
 	if len(files) == 0 {
-		files = []string{"README.md", "DESIGN.md"}
+		files = []string{"README.md", "DESIGN.md", "PROTOCOL.md", "EXPERIMENTS.md"}
 	}
 	failed := 0
 	checked := 0
 	for _, f := range files {
-		fences, err := extractGoFences(f)
+		fences, err := extractFences(f)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "docslint: %v\n", err)
 			os.Exit(1)
 		}
 		for _, fence := range fences {
 			checked++
-			if err := checkFence(fence.code); err != nil {
+			var err error
+			switch fence.lang {
+			case "go":
+				err = checkFence(fence.code)
+			case "frame":
+				err = checkFrame(fence.code)
+			}
+			if err != nil {
 				failed++
 				fmt.Fprintf(os.Stderr, "docslint: %s:%d: %v\n", f, fence.line, err)
 			}
@@ -51,13 +69,15 @@ func main() {
 }
 
 type fence struct {
-	line int // 1-based line of the opening ```go
+	line int    // 1-based line of the opening ```lang
+	lang string // "go" or "frame"
 	code string
 }
 
-// extractGoFences returns the contents of every ```go code fence in the
-// markdown file, with the line number of its opening marker.
-func extractGoFences(path string) ([]fence, error) {
+// extractFences returns the contents of every ```go and ```frame code
+// fence in the markdown file, with the line number of its opening
+// marker.
+func extractFences(path string) ([]fence, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -65,7 +85,8 @@ func extractGoFences(path string) ([]fence, error) {
 	var out []fence
 	lines := strings.Split(string(blob), "\n")
 	for i := 0; i < len(lines); i++ {
-		if strings.TrimSpace(lines[i]) != "```go" {
+		lang := strings.TrimPrefix(strings.TrimSpace(lines[i]), "```")
+		if lang == strings.TrimSpace(lines[i]) || (lang != "go" && lang != "frame") {
 			continue
 		}
 		start := i + 1
@@ -77,11 +98,43 @@ func extractGoFences(path string) ([]fence, error) {
 			body = append(body, lines[i])
 		}
 		if i == len(lines) {
-			return nil, fmt.Errorf("%s:%d: unterminated ```go fence", path, start)
+			return nil, fmt.Errorf("%s:%d: unterminated ```%s fence", path, start, lang)
 		}
-		out = append(out, fence{line: start, code: strings.Join(body, "\n") + "\n"})
+		out = append(out, fence{line: start, lang: lang, code: strings.Join(body, "\n") + "\n"})
 	}
 	return out, nil
+}
+
+// checkFrame validates one annotated hex dump of a wire frame: strip
+// "--" comments, parse the remaining tokens as hex bytes, and require
+// the 4-byte big-endian length prefix to equal the actual payload size
+// (which must itself hold at least the 6-byte header).
+func checkFrame(code string) error {
+	var raw []byte
+	for _, line := range strings.Split(code, "\n") {
+		if i := strings.Index(line, "--"); i >= 0 {
+			line = line[:i]
+		}
+		for _, tok := range strings.Fields(line) {
+			b, err := hex.DecodeString(tok)
+			if err != nil || len(b) != 1 {
+				return fmt.Errorf("frame: %q is not a hex byte", tok)
+			}
+			raw = append(raw, b[0])
+		}
+	}
+	if len(raw) < 4 {
+		return fmt.Errorf("frame: %d bytes, no room for the length prefix", len(raw))
+	}
+	declared := binary.BigEndian.Uint32(raw)
+	payload := len(raw) - 4
+	if int(declared) != payload {
+		return fmt.Errorf("frame: length prefix says %d payload bytes, dump has %d", declared, payload)
+	}
+	if payload < 6 {
+		return fmt.Errorf("frame: %d-byte payload is below the 6-byte header minimum", payload)
+	}
+	return nil
 }
 
 // checkFence validates one snippet: full programs compile, fragments

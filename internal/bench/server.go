@@ -1,0 +1,304 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bvtree/internal/bvtree"
+	"bvtree/internal/geometry"
+	"bvtree/internal/obs"
+	"bvtree/internal/shard"
+	"bvtree/internal/storage"
+	"bvtree/internal/workload"
+)
+
+// ServerReport is the JSON artifact emitted by bvbench -server. It
+// measures the full service path — wire protocol, per-connection
+// executor, shard router, scatter-gather, DurableTree + WAL per shard —
+// under a closed-loop mixed workload at increasing connection counts.
+// Latencies include a loopback round trip, so they price the protocol,
+// not just the tree.
+type ServerReport struct {
+	Experiment string `json:"experiment"`
+	Points     int    `json:"points"`
+	Dims       int    `json:"dims"`
+	Shards     int    `json:"shards"`
+	Backend    string `json:"backend"`
+	CPUs       int    `json:"cpus"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	OpsPerConn int    `json:"ops_per_conn"`
+	Mix        string `json:"mix"`
+	// Warning is set when any row is saturated: on such rows the
+	// throughput column measures scheduler fairness between colocated
+	// clients and server, not service capacity, and the tail latencies
+	// include run-queue wait. Do not quote them as capacity numbers.
+	Warning string         `json:"warning,omitempty"`
+	Results []ServerResult `json:"results"`
+}
+
+// ServerResult is one row of the connection sweep.
+type ServerResult struct {
+	Conns     int     `json:"conns"`
+	Ops       uint64  `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Saturated marks rows where GOMAXPROCS < 2×conns: every connection
+	// needs a client goroutine and a server executor goroutine, and the
+	// benchmark colocates both sides in one process, so below that
+	// threshold the row is bounded by the scheduler rather than the
+	// server.
+	Saturated bool `json:"saturated,omitempty"`
+	// Latency quantiles per op class, in nanoseconds, measured
+	// client-side (queue + wire + execute + reply).
+	Ops50 map[string]ServerOpLatency `json:"op_latency_ns"`
+}
+
+// ServerOpLatency summarises one op class's client-observed latency.
+type ServerOpLatency struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// serverMix is the per-connection closed-loop op mix, drawn per op from
+// a per-connection PRNG: writes dominate (the service exists to absorb
+// multi-tenant ingest) with enough point and window reads to keep the
+// scatter-gather path hot.
+const serverMix = "60% Insert / 25% Lookup / 10% Range(0.01) / 4% Count / 1% Nearest(k=4)"
+
+// RunServer stands up an in-process bvserver — durable backend, one
+// DurableTree + WAL + store file per shard under a temp dir, plan chosen
+// by sampling the preload — and drives it over real loopback TCP with a
+// sweep of closed-loop client connections. Progress goes to w; the
+// returned report is what bvbench serialises to BENCH_server.json.
+func RunServer(w io.Writer, scale int, connCounts []int, opsPerConn int) (*ServerReport, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	if len(connCounts) == 0 {
+		connCounts = []int{1, 2, 4, 8}
+	}
+	if opsPerConn < 1 {
+		opsPerConn = 2000
+	}
+	const (
+		dims    = 2
+		shardsN = 4
+	)
+	preload := 20000 * scale
+
+	dir, err := os.MkdirTemp("", "bvserver-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	pts, err := workload.Generate(workload.Clustered, dims, preload, 42)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := shard.PlanShards(pts[:min(preload, 4096)], dims, shardsN, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	engines := make([]shard.Engine, plan.Shards())
+	var closers []func()
+	defer func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}()
+	opt := bvtree.Options{Dims: dims, DataCapacity: 16, Fanout: 16}
+	for i := range engines {
+		st, err := storage.CreateFileStore(filepath.Join(dir, fmt.Sprintf("shard-%04d.db", i)),
+			storage.FileStoreOptions{PinDirty: true})
+		if err != nil {
+			return nil, err
+		}
+		d, err := bvtree.NewDurable(st, filepath.Join(dir, fmt.Sprintf("shard-%04d.wal", i)), opt)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		closers = append(closers, func() { d.Close(); st.Close() })
+		engines[i] = d
+	}
+	router, err := shard.NewRouter(plan, engines)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "server: preloading %d points into %d durable shards...\n", preload, shardsN)
+	for i, p := range pts {
+		if err := router.Insert(p, uint64(i)); err != nil {
+			return nil, err
+		}
+	}
+
+	srv := shard.NewServer(router, shard.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	rep := &ServerReport{
+		Experiment: "server",
+		Points:     preload,
+		Dims:       dims,
+		Shards:     shardsN,
+		Backend:    "durable",
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		OpsPerConn: opsPerConn,
+		Mix:        serverMix,
+	}
+	fmt.Fprintf(w, "server: %s, %d CPUs, GOMAXPROCS=%d, %d ops/conn\n",
+		addr, rep.CPUs, rep.GoMaxProcs, opsPerConn)
+	fmt.Fprintf(w, "mix: %s\n", serverMix)
+	fmt.Fprintf(w, "%6s %10s %8s %12s %12s %12s %s\n",
+		"conns", "ops", "secs", "ops/sec", "insert p50", "insert p99", "")
+
+	saturated := 0
+	for _, conns := range connCounts {
+		res, err := serverSweepRow(addr, pts, conns, opsPerConn)
+		if err != nil {
+			return nil, err
+		}
+		res.Saturated = rep.GoMaxProcs < 2*conns
+		if res.Saturated {
+			saturated++
+		}
+		rep.Results = append(rep.Results, *res)
+		note := ""
+		if res.Saturated {
+			note = "  (saturated)"
+		}
+		ins := res.Ops50["insert"]
+		fmt.Fprintf(w, "%6d %10d %8.2f %12.0f %11.0fns %11.0fns%s\n",
+			res.Conns, res.Ops, res.Seconds, res.OpsPerSec, ins.P50, ins.P99, note)
+	}
+	if saturated > 0 {
+		rep.Warning = fmt.Sprintf(
+			"%d of %d rows saturated (GOMAXPROCS=%d < 2×conns): colocated client+server share cores; quantiles include scheduling delay",
+			saturated, len(rep.Results), rep.GoMaxProcs)
+		fmt.Fprintf(w, "warning: %s\n", rep.Warning)
+	}
+	return rep, nil
+}
+
+// serverOpClasses indexes the latency histograms of one sweep row.
+var serverOpClasses = []string{"insert", "lookup", "range", "count", "nearest"}
+
+// serverSweepRow runs one closed-loop row: conns clients, each on its
+// own connection, each issuing opsPerConn mixed ops back-to-back.
+func serverSweepRow(addr string, pts []geometry.Point, conns, opsPerConn int) (*ServerResult, error) {
+	hists := make(map[string]*obs.Histogram, len(serverOpClasses))
+	for _, c := range serverOpClasses {
+		hists[c] = &obs.Histogram{}
+	}
+	var (
+		wg       sync.WaitGroup
+		totalOps atomic.Uint64
+		firstErr atomic.Value
+	)
+	start := time.Now()
+	for g := 0; g < conns; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if err := serverClientLoop(addr, pts, g, opsPerConn, hists, &totalOps); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, err
+	}
+	res := &ServerResult{
+		Conns:     conns,
+		Ops:       totalOps.Load(),
+		Seconds:   secs,
+		OpsPerSec: float64(totalOps.Load()) / secs,
+		Ops50:     make(map[string]ServerOpLatency, len(serverOpClasses)),
+	}
+	for _, c := range serverOpClasses {
+		s := hists[c].Snapshot()
+		res.Ops50[c] = ServerOpLatency{Count: s.Count, P50: s.P50, P95: s.P95, P99: s.P99}
+	}
+	return res, nil
+}
+
+// serverClientLoop is one connection's closed loop. Inserted payloads
+// are tagged with the connection index so rows never contend on
+// identical (point, payload) pairs.
+func serverClientLoop(addr string, pts []geometry.Point, g, ops int,
+	hists map[string]*obs.Histogram, totalOps *atomic.Uint64) error {
+	c, err := shard.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	src := workload.NewSource(uint64(1000 + g))
+	dims := c.Dims()
+	randPoint := func() geometry.Point {
+		p := make(geometry.Point, dims)
+		for d := range p {
+			p[d] = src.Uint64()
+		}
+		return p
+	}
+	// Range windows: 1% of the domain per side, recentred per query.
+	const rangeSide = uint64(0.01 * float64(1<<63) * 2)
+	randRect := func() geometry.Rect {
+		r := geometry.Rect{Min: make(geometry.Point, dims), Max: make(geometry.Point, dims)}
+		for d := 0; d < dims; d++ {
+			lo := src.Uint64()
+			if lo > ^uint64(0)-rangeSide {
+				lo = ^uint64(0) - rangeSide
+			}
+			r.Min[d], r.Max[d] = lo, lo+rangeSide
+		}
+		return r
+	}
+	for i := 0; i < ops; i++ {
+		roll := src.Intn(100)
+		var class string
+		t0 := time.Now()
+		switch {
+		case roll < 60:
+			class = "insert"
+			err = c.Insert(randPoint(), uint64(g)<<32|uint64(i))
+		case roll < 85:
+			class = "lookup"
+			_, err = c.Lookup(pts[src.Intn(len(pts))])
+		case roll < 95:
+			class = "range"
+			_, _, _, err = c.Range(randRect(), 4096)
+		case roll < 99:
+			class = "count"
+			_, err = c.Count(randRect())
+		default:
+			class = "nearest"
+			_, err = c.Nearest(randPoint(), 4)
+		}
+		if err != nil {
+			return fmt.Errorf("conn %d op %d (%s): %w", g, i, class, err)
+		}
+		hists[class].ObserveSince(t0)
+		totalOps.Add(1)
+	}
+	return nil
+}

@@ -27,13 +27,13 @@ import (
 // captures on the writer's path), never a stall for the backup's whole
 // duration.
 type SnapshotReport struct {
-	Experiment string           `json:"experiment"`
-	Writers    int              `json:"writers"`
-	OpsTotal   int              `json:"ops_total"`
-	Dims       int              `json:"dims"`
-	MeanBurst  int              `json:"mean_burst"`
-	CPUs       int              `json:"cpus"`
-	GoMaxProcs int              `json:"gomaxprocs"`
+	Experiment string `json:"experiment"`
+	Writers    int    `json:"writers"`
+	OpsTotal   int    `json:"ops_total"`
+	Dims       int    `json:"dims"`
+	MeanBurst  int    `json:"mean_burst"`
+	CPUs       int    `json:"cpus"`
+	GoMaxProcs int    `json:"gomaxprocs"`
 	// Saturated marks runs where writers plus the backup goroutine
 	// exceed the parallelism headroom (GOMAXPROCS < writers+1): stall
 	// percentiles then include scheduler queueing, not just backup

@@ -537,7 +537,7 @@ func (b *writeBuffer) overlay() *bufOverlay {
 	return ov
 }
 
-/// suppression builds the per-traversal delete-consumption map: each
+// suppression builds the per-traversal delete-consumption map: each
 // pending delete suppresses exactly one matching visited item. The map
 // is local to one traversal; the overlay itself stays immutable.
 func (ov *bufOverlay) suppression() map[string]int {

@@ -54,10 +54,10 @@ type pageVersion struct {
 // bare by pinned readers (which hold no tree lock at all).
 type mvccState struct {
 	mu    sync.Mutex
-	epoch uint64           // advanced on every pin; writes happen "at" the current value
-	pins  map[uint64]int   // pinned epoch -> reference count
-	nPins atomic.Int64     // len-weighted pin count, lock-free writer fast path
-	nOld  atomic.Int64     // chain versions + graves, lock-free reader fast path
+	epoch uint64         // advanced on every pin; writes happen "at" the current value
+	pins  map[uint64]int // pinned epoch -> reference count
+	nPins atomic.Int64   // len-weighted pin count, lock-free writer fast path
+	nOld  atomic.Int64   // chain versions + graves, lock-free reader fast path
 	chain map[page.ID][]pageVersion
 	grave map[page.ID]uint64 // page -> epoch at which its free was deferred
 

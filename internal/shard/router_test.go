@@ -1,0 +1,446 @@
+package shard
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bvtree/internal/bvtree"
+	"bvtree/internal/geometry"
+	"bvtree/internal/workload"
+)
+
+func TestShardPlanShards(t *testing.T) {
+	const dims = 2
+	t.Run("balance-on-clustered", func(t *testing.T) {
+		pts, err := workload.Generate(workload.Clustered, dims, 4000, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := PlanShards(pts, dims, 8, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Shards() != 8 {
+			t.Fatalf("plan has %d shards, want 8", plan.Shards())
+		}
+		engines := newEngines(t, "mem", plan)
+		r, err := NewRouter(plan, engines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range pts {
+			if err := r.Insert(p, uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Sample-based splits must do far better on clustered data than
+		// the worst case: no shard should hold more than half the data
+		// (uniform splits typically leave most shards empty here).
+		for i, n := range r.ShardLens() {
+			if n > len(pts)/2 {
+				t.Fatalf("shard %d holds %d of %d points: sampling failed to balance", i, n, len(pts))
+			}
+		}
+	})
+
+	t.Run("degenerate-identical-sample", func(t *testing.T) {
+		// Every sample point identical: quantiles all collide onto one
+		// brick; the plan must still be strictly ascending and valid.
+		p := geometry.Point{1 << 60, 1 << 60}
+		sample := make([]geometry.Point, 100)
+		for i := range sample {
+			sample[i] = p
+		}
+		plan, err := PlanShards(sample, dims, 6, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan.validate(); err != nil {
+			t.Fatal(err)
+		}
+		if plan.Shards() != 6 {
+			t.Fatalf("got %d shards, want 6", plan.Shards())
+		}
+	})
+
+	t.Run("empty-sample-falls-back-uniform", func(t *testing.T) {
+		plan, err := PlanShards(nil, dims, 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uni, err := PlanUniform(dims, 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.Splits) != len(uni.Splits) {
+			t.Fatalf("fallback plan %v != uniform %v", plan.Splits, uni.Splits)
+		}
+		for i := range plan.Splits {
+			if plan.Splits[i] != uni.Splits[i] {
+				t.Fatalf("fallback plan %v != uniform %v", plan.Splits, uni.Splits)
+			}
+		}
+	})
+
+	t.Run("bad-args", func(t *testing.T) {
+		if _, err := PlanUniform(0, 4, 0); err == nil {
+			t.Error("dims 0 accepted")
+		}
+		if _, err := PlanUniform(2, 0, 0); err == nil {
+			t.Error("0 shards accepted")
+		}
+		if _, err := PlanUniform(2, 5, 2); err == nil {
+			t.Error("5 shards over 4 prefix boundaries accepted")
+		}
+		if _, err := NewRouter(Plan{Dims: 2, PrefixBits: 16, Splits: []uint64{2 << 48, 1 << 48}}, nil); err == nil {
+			t.Error("descending splits accepted")
+		}
+	})
+}
+
+func TestShardRouting(t *testing.T) {
+	const dims = 3
+	pts, err := workload.Generate(workload.Uniform, dims, 500, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanShards(pts, dims, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(plan, newEngines(t, "mem", plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		i, err := r.ShardFor(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, err := r.il.Interleave64(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := plan.Range(i)
+		if key < lo || key > hi {
+			t.Fatalf("point %v routed to shard %d [%#x, %#x] but key is %#x", p, i, lo, hi, key)
+		}
+	}
+	if _, err := r.ShardFor(geometry.Point{1, 2}); err == nil {
+		t.Error("wrong-dimensionality point accepted")
+	}
+}
+
+// TestShardStraddlingWindows pins the cross-shard decomposition: query
+// windows deliberately straddling one, two and all split boundaries of
+// a known uniform plan must hit the right shards and return exactly the
+// single-tree result.
+func TestShardStraddlingWindows(t *testing.T) {
+	const dims = 2
+	// Uniform 4-shard plan at 2-bit alignment: splits at the quarters of
+	// Z-space. In 2-D those are the four quadrants of the domain
+	// (first two interleaved bits = y-then-x halves).
+	plan, err := PlanUniform(dims, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(plan, newEngines(t, "mem", plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newReference(t, dims)
+	pts, err := workload.Generate(workload.Uniform, dims, 3000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if err := r.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lens := r.ShardLens(); len(lens) != 4 {
+		t.Fatalf("expected 4 shards, got %v", lens)
+	}
+
+	const mid = uint64(1) << 63
+	quarter := uint64(1) << 62
+	cases := []struct {
+		name      string
+		rect      geometry.Rect
+		minShards int
+	}{
+		// Entirely inside the low quadrant: exactly one shard.
+		{"one-shard", geometry.Rect{
+			Min: geometry.Point{0, 0},
+			Max: geometry.Point{quarter, quarter}}, 1},
+		// Straddles the x midline only: two shards.
+		{"two-shards", geometry.Rect{
+			Min: geometry.Point{mid - quarter/2, 0},
+			Max: geometry.Point{mid + quarter/2, quarter}}, 2},
+		// Centered on the domain midpoint: all four shards.
+		{"four-shards", geometry.Rect{
+			Min: geometry.Point{mid - quarter/2, mid - quarter/2},
+			Max: geometry.Point{mid + quarter/2, mid + quarter/2}}, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			targets, err := r.shardsForRect(tc.rect)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(targets) < tc.minShards {
+				t.Fatalf("window %v touched shards %v, want at least %d", tc.rect, targets, tc.minShards)
+			}
+			got := collect(t, func(v bvtree.Visitor) error { return r.RangeQuery(tc.rect, v) })
+			want := collect(t, func(v bvtree.Visitor) error { return ref.RangeQuery(tc.rect, v) })
+			sameItems(t, tc.name, got, want)
+			gc, err := r.Count(tc.rect)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gc != len(want) {
+				t.Fatalf("count %d, want %d", gc, len(want))
+			}
+		})
+	}
+}
+
+// TestShardEmptyShards drives a cluster where the data lives in one
+// corner of the domain under a uniform plan, leaving most shards
+// empty: routing, scatter-gather and per-shard accounting must all
+// stay exact.
+func TestShardEmptyShards(t *testing.T) {
+	const dims = 2
+	plan, err := PlanUniform(dims, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(plan, newEngines(t, "mem", plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newReference(t, dims)
+	// All points in the lowest 1/256 of both dimensions: Z-keys share a
+	// long common prefix, so exactly one shard owns every point.
+	pts, err := workload.Generate(workload.Uniform, dims, 1500, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		for d := range p {
+			p[d] >>= 8
+		}
+		if err := r.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lens := r.ShardLens()
+	nonEmpty := 0
+	for _, n := range lens {
+		if n > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("expected exactly 1 non-empty shard, got lens %v", lens)
+	}
+	diffAll(t, r, ref, pts)
+
+	// A whole-domain query crosses every shard, including the empty
+	// ones; empty shards must contribute nothing and not wedge the
+	// scatter.
+	rect := geometry.UniverseRect(dims)
+	targets, err := r.shardsForRect(rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 8 {
+		t.Fatalf("universe window touched %v, want all 8 shards", targets)
+	}
+	n, err := r.Count(rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(pts) {
+		t.Fatalf("universe count %d, want %d", n, len(pts))
+	}
+}
+
+// errEngine wraps an Engine, failing RangeQuery with a fixed error
+// after emitting a few items.
+type errEngine struct {
+	Engine
+	err       error
+	emitFirst int
+}
+
+func (e *errEngine) RangeQuery(rect geometry.Rect, visit bvtree.Visitor) error {
+	emitted := 0
+	_ = e.Engine.RangeQuery(rect, func(p geometry.Point, payload uint64) bool {
+		if emitted >= e.emitFirst {
+			return false
+		}
+		emitted++
+		return visit(p, payload)
+	})
+	return e.err
+}
+
+// slowEngine wraps an Engine, pacing each emitted item and counting
+// how many were emitted — the probe that proves cancellation reached
+// an in-flight shard.
+type slowEngine struct {
+	Engine
+	emitted atomic.Int64
+}
+
+func (e *slowEngine) RangeQuery(rect geometry.Rect, visit bvtree.Visitor) error {
+	return e.Engine.RangeQuery(rect, func(p geometry.Point, payload uint64) bool {
+		time.Sleep(time.Millisecond)
+		e.emitted.Add(1)
+		return visit(p, payload)
+	})
+}
+
+// TestShardFirstErrorCancellation proves the scatter contract: the
+// first shard error is returned, and every other in-flight shard
+// traversal is cancelled through its visitor rather than running to
+// completion.
+func TestShardFirstErrorCancellation(t *testing.T) {
+	const dims = 2
+	plan, err := PlanUniform(dims, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := newEngines(t, "mem", plan)
+	r0, err := NewRouter(plan, engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := workload.Generate(workload.Uniform, dims, 4000, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if err := r0.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sentinel := errors.New("shard 0 poisoned")
+	failing := &errEngine{Engine: engines[0], err: sentinel, emitFirst: 3}
+	slow := &slowEngine{Engine: engines[1]}
+	r, err := NewRouter(plan, []Engine{failing, slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	visited := 0
+	err = r.RangeQuery(geometry.UniverseRect(dims), func(geometry.Point, uint64) bool {
+		visited++
+		return true
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got error %v, want the poisoned shard's sentinel", err)
+	}
+	// The slow shard holds thousands of points at 1ms each; if
+	// cancellation had not reached it, it would have emitted them all.
+	if n := slow.emitted.Load(); n >= int64(slow.Engine.Len()) {
+		t.Fatalf("slow shard emitted all %d items: cancellation never arrived", n)
+	}
+	if visited > len(pts) {
+		t.Fatalf("visitor saw %d items, more than exist", visited)
+	}
+}
+
+// TestShardEarlyStop proves visitor-false semantics across shards: the
+// delivery stops exactly at the client's false, the query returns nil,
+// and in-flight shards are cancelled.
+func TestShardEarlyStop(t *testing.T) {
+	const dims = 2
+	plan, err := PlanUniform(dims, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := newEngines(t, "mem", plan)
+	r, err := NewRouter(plan, engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := workload.Generate(workload.Uniform, dims, 3000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if err := r.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const stopAfter = 10
+	visited := 0
+	err = r.RangeQuery(geometry.UniverseRect(dims), func(geometry.Point, uint64) bool {
+		visited++
+		return visited < stopAfter
+	})
+	if err != nil {
+		t.Fatalf("early-stopped query returned error %v", err)
+	}
+	if visited != stopAfter {
+		t.Fatalf("visitor called %d times, want exactly %d", visited, stopAfter)
+	}
+
+	// Scan shares the early-stop contract.
+	visited = 0
+	if err := r.Scan(func(geometry.Point, uint64) bool {
+		visited++
+		return visited < stopAfter
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if visited != stopAfter {
+		t.Fatalf("scan visitor called %d times, want exactly %d", visited, stopAfter)
+	}
+}
+
+// TestShardAggregateCounters sanity-checks the cluster metrics view:
+// per-shard counters sum into the aggregate.
+func TestShardAggregateCounters(t *testing.T) {
+	const dims = 2
+	plan, err := PlanUniform(dims, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(plan, newEngines(t, "mem", plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := workload.Generate(workload.Uniform, dims, 2000, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if err := r.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg := r.AggregateCounters()
+	var sum uint64
+	for i := 0; i < r.Shards(); i++ {
+		s, ok := r.ShardMetrics(i)
+		if !ok {
+			t.Fatalf("shard %d exposes no metrics", i)
+		}
+		sum += s.Tree.Counters.NodeAccesses
+	}
+	if agg.NodeAccesses != sum || sum == 0 {
+		t.Fatalf("aggregate node accesses %d, per-shard sum %d (want equal, non-zero)", agg.NodeAccesses, sum)
+	}
+}

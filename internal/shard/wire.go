@@ -1,0 +1,162 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"bvtree/internal/geometry"
+)
+
+// Wire protocol (authoritative prose: PROTOCOL.md). Every message —
+// request or response — is one frame:
+//
+//	uint32 big-endian payload length | payload
+//
+// A request payload is
+//
+//	version(1) opcode(1) requestID(uint32 BE) body
+//
+// and a response payload is
+//
+//	version(1) status(1) requestID(uint32 BE) body
+//
+// where the request ID is echoed verbatim. Multi-byte integers are
+// big-endian throughout; points are Dims consecutive uint64
+// coordinates. Responses are delivered in request order per
+// connection, so clients may pipeline freely.
+
+// ProtoVersion is the wire protocol version byte. A server rejects
+// frames carrying any other version with StatusBadVersion.
+const ProtoVersion = 0x01
+
+// Request opcodes.
+const (
+	OpPing    = 0x01 // body: none            → dims(1) shards(uint16)
+	OpInsert  = 0x02 // body: point payload   → none
+	OpDelete  = 0x03 // body: point payload   → found(1)
+	OpLookup  = 0x04 // body: point           → count(uint32) payloads
+	OpRange   = 0x05 // body: min max limit   → count(uint32) truncated(1) items
+	OpCount   = 0x06 // body: min max         → count(uint64)
+	OpNearest = 0x07 // body: point k(uint32) → count(uint32) neighbors
+	OpLen     = 0x08 // body: none            → total(uint64) shards(uint16) lens
+)
+
+// Response status codes. Statuses other than StatusOK carry a UTF-8
+// error message as the response body.
+const (
+	StatusOK         = 0x00
+	StatusMalformed  = 0x01 // body shorter or longer than the opcode requires
+	StatusUnknownOp  = 0x02 // opcode not in the table above
+	StatusBadRequest = 0x03 // arguments rejected (e.g. rect min > max, k = 0)
+	StatusInternal   = 0x04 // shard engine failure
+	StatusShutdown   = 0x05 // server is draining; retry against a new server
+	StatusBadVersion = 0x06 // version byte is not ProtoVersion
+)
+
+// MaxFrame is the default upper bound on a frame's payload length in
+// bytes (16 MiB). A frame announcing more closes the connection: an
+// oversized announcement is indistinguishable from a desynchronised or
+// hostile stream, and skipping it would stall the connection for the
+// full announced length anyway.
+const MaxFrame = 1 << 24
+
+// headerSize is the fixed request/response preamble past the length
+// field: version, opcode/status, request ID.
+const headerSize = 1 + 1 + 4
+
+// statusText names the non-OK statuses for error rendering.
+func statusText(status byte) string {
+	switch status {
+	case StatusMalformed:
+		return "malformed request"
+	case StatusUnknownOp:
+		return "unknown opcode"
+	case StatusBadRequest:
+		return "bad request"
+	case StatusInternal:
+		return "internal error"
+	case StatusShutdown:
+		return "server shutting down"
+	case StatusBadVersion:
+		return "unsupported protocol version"
+	default:
+		return fmt.Sprintf("status %#02x", status)
+	}
+}
+
+// opName names an opcode for metrics and errors.
+func opName(op byte) string {
+	switch op {
+	case OpPing:
+		return "ping"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpLookup:
+		return "lookup"
+	case OpRange:
+		return "range"
+	case OpCount:
+		return "count"
+	case OpNearest:
+		return "nearest"
+	case OpLen:
+		return "len"
+	default:
+		return fmt.Sprintf("op%#02x", op)
+	}
+}
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame's payload, enforcing maxFrame. The buffer
+// is freshly allocated — callers may retain it.
+func readFrame(r io.Reader, maxFrame int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < headerSize {
+		return nil, fmt.Errorf("shard: frame payload %d bytes, below %d-byte header", n, headerSize)
+	}
+	if int(n) > maxFrame {
+		return nil, fmt.Errorf("shard: frame payload %d bytes exceeds limit %d", n, maxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// appendPoint appends a point's coordinates.
+func appendPoint(buf []byte, p geometry.Point) []byte {
+	for _, c := range p {
+		buf = binary.BigEndian.AppendUint64(buf, c)
+	}
+	return buf
+}
+
+// parsePoint decodes dims coordinates from buf, returning the remainder.
+func parsePoint(buf []byte, dims int) (geometry.Point, []byte, bool) {
+	if len(buf) < 8*dims {
+		return nil, buf, false
+	}
+	p := make(geometry.Point, dims)
+	for d := range p {
+		p[d] = binary.BigEndian.Uint64(buf[8*d:])
+	}
+	return p, buf[8*dims:], true
+}
